@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Each benchmark module reproduces one paper figure: it runs the figure's
+sweep once (``benchmark.pedantic`` with a single round — the workload
+is a deterministic simulation, not a microbenchmark to be averaged),
+prints the reproduced rows/series, and writes them under
+``benchmarks/_output/`` so the tables survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "_output"
+
+
+@pytest.fixture
+def record_figure():
+    """Returns a callable that prints and persists a FigureResult."""
+
+    def _record(result):
+        text = result.format()
+        print(text)
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        slug = result.figure_id.lower().replace(" ", "")
+        (OUTPUT_DIR / f"{slug}.txt").write_text(text)
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure sweep exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,166 @@
+"""Ablations over the modeling knobs DESIGN.md §5 calls out.
+
+These benches probe the design decisions the paper leaves open (cache
+geometries are not public; allocator state depends on uptime) and
+demonstrate that the reproduction's headline results are robust across
+the plausible ranges — plus the tech-report extras (DDIO on/off).
+"""
+
+from conftest import run_once
+
+from repro.apps import run_iperf
+from repro.experiments import QUICK, FigureResult
+from repro.iommu import IommuConfig
+
+
+def sweep_ptcache_l3(scale=QUICK):
+    """The paper estimates PTcache-L3 at 64-128 entries (Fig 2e's red
+    lines).  Sweep the range: strict-mode misses shrink with a bigger
+    cache but never vanish (invalidations, not capacity, drive them);
+    F&S stays at zero regardless."""
+    result = FigureResult(
+        "Ablation-L3",
+        "PTcache-L3 capacity sweep (iperf, 5 flows)",
+        ["mode", "l3_entries", "gbps", "m3/pg"],
+    )
+    for entries in (32, 64, 128):
+        for mode in ("strict", "fns"):
+            point = run_iperf(
+                mode,
+                flows=5,
+                warmup_ns=scale.warmup_ns,
+                measure_ns=scale.measure_ns,
+                iommu=IommuConfig(ptcache_l3_entries=entries),
+            )
+            result.rows.append(
+                [
+                    mode,
+                    entries,
+                    round(point.rx_goodput_gbps, 1),
+                    round(point.ptcache_l3_misses_per_page, 3),
+                ]
+            )
+    return result
+
+
+def sweep_aging(scale=QUICK):
+    """Cold-boot vs long-uptime allocator state: the knob behind the
+    paper's measured locality (DESIGN.md §5.9)."""
+    result = FigureResult(
+        "Ablation-aging",
+        "Allocator aging sweep (strict, iperf, 5 flows)",
+        ["aging_iovas", "gbps", "m3/pg", "iotlb/pg"],
+    )
+    for aging in (0, 16384, 65536):
+        point = run_iperf(
+            "strict",
+            flows=5,
+            warmup_ns=scale.warmup_ns,
+            measure_ns=scale.measure_ns,
+            allocator_aging_iovas=aging,
+        )
+        result.rows.append(
+            [
+                aging,
+                round(point.rx_goodput_gbps, 1),
+                round(point.ptcache_l3_misses_per_page, 3),
+                round(point.iotlb_misses_per_page, 2),
+            ]
+        )
+    return result
+
+
+def sweep_walkers(scale=QUICK):
+    """Concurrent page-walker count: more walkers hide miss cost."""
+    result = FigureResult(
+        "Ablation-walkers",
+        "Walker concurrency sweep (strict, iperf, 5 flows)",
+        ["walkers", "gbps", "M"],
+    )
+    for walkers in (1, 2, 4):
+        point = run_iperf(
+            "strict",
+            flows=5,
+            warmup_ns=scale.warmup_ns,
+            measure_ns=scale.measure_ns,
+            iommu=IommuConfig(walkers=walkers),
+        )
+        result.rows.append(
+            [
+                walkers,
+                round(point.rx_goodput_gbps, 1),
+                round(point.memory_reads_per_page, 2),
+            ]
+        )
+    return result
+
+
+def sweep_ddio(scale=QUICK):
+    """Tech-report extra: DDIO on/off.  The paper found DDIO only
+    changes CPU utilization, not IOMMU cache behaviour."""
+    result = FigureResult(
+        "Ablation-DDIO",
+        "DDIO on/off (strict, iperf, 5 flows)",
+        ["ddio", "gbps", "M", "max_cpu%"],
+    )
+    for ddio in (False, True):
+        point = run_iperf(
+            "strict",
+            flows=5,
+            warmup_ns=scale.warmup_ns,
+            measure_ns=scale.measure_ns,
+            enable_ddio=ddio,
+        )
+        result.rows.append(
+            [
+                "on" if ddio else "off",
+                round(point.rx_goodput_gbps, 1),
+                round(point.memory_reads_per_page, 2),
+                round(point.max_core_utilization * 100, 1),
+            ]
+        )
+    return result
+
+
+def test_ptcache_l3_capacity(benchmark, record_figure):
+    result = run_once(benchmark, sweep_ptcache_l3)
+    record_figure(result)
+    strict = {row[1]: row for row in result.rows if row[0] == "strict"}
+    fns = {row[1]: row for row in result.rows if row[0] == "fns"}
+    # Bigger caches help strict but never eliminate its misses.
+    assert strict[32][3] >= strict[128][3]
+    assert strict[128][3] > 0.05
+    # F&S is insensitive to the unknown geometry — the reproduction's
+    # key claims do not depend on the paper's 64-vs-128 uncertainty.
+    for entries in (32, 64, 128):
+        assert fns[entries][3] < 0.01
+        assert fns[entries][2] > strict[entries][2]
+
+
+def test_allocator_aging(benchmark, record_figure):
+    result = run_once(benchmark, sweep_aging)
+    record_figure(result)
+    by_aging = {row[0]: row for row in result.rows}
+    # A cold-booted allocator shows much better locality (fewer L3
+    # misses) than an aged one — the uptime dependence DESIGN.md
+    # documents.
+    assert by_aging[0][2] < by_aging[16384][2]
+    assert by_aging[65536][2] >= by_aging[16384][2] * 0.8
+
+
+def test_walker_concurrency(benchmark, record_figure):
+    result = run_once(benchmark, sweep_walkers)
+    record_figure(result)
+    by_walkers = {row[0]: row for row in result.rows}
+    # Fewer walkers -> more serialization -> lower throughput.
+    assert by_walkers[1][1] <= by_walkers[4][1] + 1.0
+
+
+def test_ddio(benchmark, record_figure):
+    result = run_once(benchmark, sweep_ddio)
+    record_figure(result)
+    off_row, on_row = result.rows
+    # DDIO does not change IOMMU cache behaviour (paper tech report)...
+    assert abs(on_row[2] - off_row[2]) < 0.3
+    # ... but reduces CPU (data-touch) cost.
+    assert on_row[3] < off_row[3]

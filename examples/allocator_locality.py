@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Why IOVA allocation order decides PTcache-L3 hit rates.
+
+Reproduces the paper's Fig 2e/7e methodology standalone: drive the
+Linux-style caching IOVA allocator and the F&S chunk allocator through
+the same Rx/Tx churn pattern and compare the LRU reuse distances of
+their PTcache-L3 entries.  A reuse distance above the cache size
+(estimated 64-128 entries) means the entry is evicted before reuse —
+an L3 miss per page walk.
+
+Run:  python examples/allocator_locality.py
+"""
+
+from collections import deque
+
+from repro.analysis import format_table, summarize_locality
+from repro.iova import (
+    CachingIovaAllocator,
+    ChunkIovaAllocator,
+)
+
+
+def age(allocator, cores: int, iovas: int = 60000) -> None:
+    """Reproduce long-uptime allocator state: magazines and depot hold
+    shuffled addresses spanning a wide extent (see DESIGN.md §5)."""
+    from repro.sim import SeededRng
+
+    rng = SeededRng(7, "example-aging")
+    parked = [allocator.alloc(1, cpu=i % cores) for i in range(iovas)]
+    rng.shuffle(parked)
+    for iova in parked:
+        allocator.free(iova, 1, cpu=rng.randint(0, cores - 1))
+    allocator.trace.clear()
+
+
+def churn_linux(cores: int = 5, rounds: int = 400) -> list:
+    """Per-page allocations with descriptor-batch frees and lagging
+    Tx (ACK) frees — the Linux datapath's allocation pattern."""
+    trace: list[tuple[int, int]] = []
+    allocator = CachingIovaAllocator(num_cpus=cores, trace=trace)
+    age(allocator, cores)
+    rings = [
+        deque(allocator.alloc(1, cpu=core) for _ in range(512))
+        for core in range(cores)
+    ]
+    tx_in_flight: list[deque] = [deque() for _ in range(cores)]
+    for round_index in range(rounds):
+        core = round_index % cores
+        ring = rings[core]
+        for _ in range(64):  # descriptor completion
+            allocator.free(ring.popleft(), 1, cpu=core)
+        for _ in range(8):  # ACK bursts, freed rounds later
+            tx_in_flight[core].append(allocator.alloc(1, cpu=core))
+        while len(tx_in_flight[core]) > 32:
+            allocator.free(tx_in_flight[core].popleft(), 1, cpu=core)
+        for _ in range(64):  # replenish
+            ring.append(allocator.alloc(1, cpu=core))
+    return trace
+
+
+def churn_fns(cores: int = 5, rounds: int = 400) -> list:
+    """The same churn with F&S descriptor-sized contiguous chunks."""
+    trace: list[tuple[int, int]] = []
+    base = CachingIovaAllocator(num_cpus=cores, trace=trace)
+    chunks = ChunkIovaAllocator(base, num_cpus=cores, chunk_pages=64)
+    rings = [
+        deque(chunks.alloc_chunk(cpu=core) for _ in range(8))
+        for core in range(cores)
+    ]
+    for round_index in range(rounds):
+        core = round_index % cores
+        ring = rings[core]
+        old = ring.popleft()
+        chunks.release_chunk(old, cpu=core)
+        ring.append(chunks.alloc_chunk(cpu=core))
+    return trace
+
+
+def main() -> None:
+    rows = []
+    for name, trace in (("linux", churn_linux()), ("fns", churn_fns())):
+        summary = summarize_locality(trace[-20000:])
+        rows.append(
+            [
+                name,
+                summary.accesses,
+                f"{summary.mean_distance:.1f}",
+                f"{summary.p95_distance:.0f}",
+                f"{summary.fraction_above_64 * 100:.1f}",
+                f"{summary.fraction_above_128 * 100:.1f}",
+            ]
+        )
+    print("PTcache-L3 reuse distances of the IOVA allocation stream\n")
+    print(
+        format_table(
+            ["allocator", "pages", "mean", "p95", ">64 (%)", ">128 (%)"],
+            rows,
+        )
+    )
+    print(
+        "\nF&S's contiguous per-descriptor chunks keep nearly every"
+        " access at distance 0\n(same 2 MB region as the previous"
+        " page); the Linux per-page pattern scatters."
+    )
+
+
+if __name__ == "__main__":
+    main()

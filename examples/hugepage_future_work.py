@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The paper's §5 future work, runnable: F&S + 2 MB hugepages.
+
+Strict safety pins the IOTLB miss *count* at one per mapping lifetime;
+F&S makes each miss cheap.  The remaining lever the paper points to is
+making each mapping *bigger*: a 2 MB hugepage descriptor is mapped with
+a single PT-L3 leaf, translated by one (huge-)IOTLB entry, and unmapped
+plus invalidated as one unit when the descriptor completes — strict
+safety at 2 MB descriptor granularity, with the compulsory miss rate
+divided by 512.
+
+Run:  python examples/hugepage_future_work.py
+"""
+
+from repro import run_iperf
+from repro.analysis import format_table
+
+
+def main() -> None:
+    rows = []
+    for mode in ("strict", "fns", "fns-huge", "off"):
+        result = run_iperf(
+            mode,
+            flows=5,
+            warmup_ns=2e6,
+            measure_ns=6e6,
+            ring_size_packets=1024,
+        )
+        rows.append(
+            [
+                mode,
+                f"{result.rx_goodput_gbps:.1f}",
+                f"{result.iotlb_misses_per_page:.3f}",
+                f"{result.memory_reads_per_page:.3f}",
+                f"{result.invalidation_requests / result.rx_data_pages:.3f}",
+                "strict" if mode in ("strict", "fns", "fns-huge") else "none",
+            ]
+        )
+    print("iperf, 5 flows, 1024-packet rings\n")
+    print(
+        format_table(
+            [
+                "mode",
+                "gbps",
+                "iotlb miss/page",
+                "mem reads/page",
+                "inval req/page",
+                "safety",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nPlain F&S cannot go below ~1 IOTLB miss per page — strict"
+        " safety forbids\nreusing a dead translation.  Hugepage"
+        " descriptors shrink 'per page' to\n'per 512 pages': the miss"
+        " floor itself drops by two orders of magnitude."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: compare IO memory protection modes on an iperf workload.
+
+Runs the paper's default microbenchmark setup (Cascade Lake, 100 Gbps,
+4 KB MTU, 5 cores, one flow per core) under four protection modes and
+prints the headline comparison: Linux strict protection costs real
+throughput; F&S provides the same strict safety at IOMMU-off speed by
+making each (unavoidable) IOTLB miss cheap.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import run_iperf
+from repro.analysis import format_table
+
+
+def main() -> None:
+    rows = []
+    for mode in ("off", "strict", "deferred", "fns"):
+        result = run_iperf(mode, flows=5, warmup_ns=3e6, measure_ns=8e6)
+        rows.append(
+            [
+                mode,
+                f"{result.rx_goodput_gbps:.1f}",
+                f"{result.drop_fraction * 100:.2f}",
+                f"{result.iotlb_misses_per_page:.2f}",
+                f"{result.ptcache_l3_misses_per_page:.3f}",
+                f"{result.memory_reads_per_page:.2f}",
+                "yes" if mode in ("strict", "fns") else "no",
+            ]
+        )
+    print("iperf, 5 flows, 100 Gbps, 4 KB MTU (paper's default setup)\n")
+    print(
+        format_table(
+            [
+                "mode",
+                "goodput_gbps",
+                "drop%",
+                "iotlb/page",
+                "ptcache-L3/page",
+                "mem reads/page (M)",
+                "strict safety",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nF&S keeps the compulsory ~1 IOTLB miss per page (strict"
+        " safety requires it)\nbut drives the page-walk cost toward one"
+        " memory read by keeping the IO page\ntable caches hot —"
+        " matching IOMMU-off throughput."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Redis under IO memory protection — the paper's Fig 11a + Fig 12.
+
+Part 1 sweeps SET value sizes under three protection modes, showing
+that Linux strict protection costs Redis 38-70% of its throughput
+while F&S serves at IOMMU-off speed with the same strict safety.
+
+Part 2 runs the ablation at 8 KB values: enabling only PTcache
+preservation (Linux+A) or only contiguous-IOVA+batched-invalidation
+(Linux+B) each helps, but only the combination (F&S) recovers the
+throughput — each idea is necessary.
+
+Run:  python examples/redis_protection.py
+"""
+
+from repro import run_redis
+from repro.analysis import format_table
+
+
+def main() -> None:
+    print("Part 1: Redis 100% SET throughput (8 cores, 9 K MTU)\n")
+    rows = []
+    for value_bytes in (4096, 32768, 131072):
+        for mode in ("off", "strict", "fns"):
+            result = run_redis(
+                mode, value_bytes, warmup_ns=2e6, measure_ns=6e6
+            )
+            rows.append(
+                [
+                    f"{value_bytes // 1024}KB",
+                    mode,
+                    f"{result.goodput_gbps:.1f}",
+                    f"{result.requests_per_second / 1000:.0f}",
+                ]
+            )
+    print(format_table(["value", "mode", "gbps", "kreq/s"], rows))
+
+    print("\nPart 2: ablation at 8 KB values (Fig 12)\n")
+    rows = []
+    for mode in ("strict", "linux+A", "linux+B", "fns", "off"):
+        result = run_redis(mode, 8192, warmup_ns=2e6, measure_ns=6e6)
+        rows.append(
+            [
+                mode,
+                f"{result.goodput_gbps:.1f}",
+                f"{result.ptcache_l3_misses_per_page:.3f}",
+            ]
+        )
+    print(format_table(["mode", "gbps", "PTcache-L3 misses/page"], rows))
+    print(
+        "\nA = preserve PTcaches (fixes invalidation-driven misses);"
+        "\nB = contiguous IOVAs + batched invalidation (fixes locality"
+        " and CPU cost);\nonly A+B together eliminate the overheads."
+    )
+
+
+if __name__ == "__main__":
+    main()

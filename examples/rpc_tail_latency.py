@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Tail latency of a latency-sensitive RPC service under colocation.
+
+Reproduces the paper's Fig 9 scenario interactively: a netperf-style
+request/response application shares a server with throughput-bound
+iperf traffic (as in multi-tenant deployments).  The RPC gets its own
+core — the interference is purely in the NIC, PCIe, and IOMMU.
+
+With Linux strict protection, address translation inflates per-DMA
+latency; the NIC buffer builds up (P99 = queueing) and overflows
+(P99.9+ = retransmission timeouts).  F&S removes the translation cost
+and with it the tail inflation.
+
+Run:  python examples/rpc_tail_latency.py
+"""
+
+from repro import run_netperf_rpc
+from repro.analysis import format_table
+
+
+def main() -> None:
+    rpc_bytes = 4096
+    rows = []
+    for mode in ("off", "strict", "fns"):
+        result = run_netperf_rpc(
+            mode, rpc_bytes, warmup_ns=3e6, measure_ns=25e6
+        )
+        us = {k: v / 1000 for k, v in result.percentiles_ns.items()}
+        rows.append(
+            [
+                mode,
+                result.rpc_count,
+                f"{us.get(50.0, 0):.0f}",
+                f"{us.get(99.0, 0):.0f}",
+                f"{us.get(99.9, 0):.0f}",
+                f"{result.background_gbps:.0f}",
+            ]
+        )
+    print(f"netperf-style {rpc_bytes} B RPCs colocated with 5 iperf flows\n")
+    print(
+        format_table(
+            ["mode", "rpcs", "p50_us", "p99_us", "p99.9_us", "iperf_gbps"],
+            rows,
+        )
+    )
+    print(
+        "\nStrict-mode P99.9 jumps to retransmission-timeout territory"
+        " (milliseconds);\nF&S stays within a small factor of the"
+        " IOMMU-off baseline at every percentile."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Latency percentiles and simple metric utilities.
+
+Fig 9 reports P50/P90/P99/P99.9/P99.99; we compute exact empirical
+percentiles (nearest-rank) over recorded samples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["percentile", "LatencyRecorder", "PERCENTILES_FIG9"]
+
+PERCENTILES_FIG9 = (50.0, 90.0, 99.0, 99.9, 99.99)
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (0 < p <= 100) of non-empty samples."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 < p <= 100:
+        raise ValueError("percentile must be in (0, 100]")
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * p // 100))  # ceil
+    return ordered[int(rank) - 1]
+
+
+class LatencyRecorder:
+    """Accumulates latency samples (ns) and reports percentiles."""
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+
+    def record(self, latency_ns: float) -> None:
+        if latency_ns < 0:
+            raise ValueError("negative latency")
+        self.samples.append(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def percentiles(
+        self, levels: Sequence[float] = PERCENTILES_FIG9
+    ) -> dict[float, float]:
+        return {level: percentile(self.samples, level) for level in levels}
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("no samples")
+        return sum(self.samples) / len(self.samples)

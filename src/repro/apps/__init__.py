@@ -1,0 +1,24 @@
+"""Application workloads: iperf, netperf RPC, Redis, Nginx, SPDK."""
+
+from .base import AppStats, RequestResponseApp, segments_for
+from .iperf import run_bidirectional_iperf, run_iperf
+from .netperf import NetperfResult, run_netperf_rpc
+from .nginx import NginxResult, run_nginx
+from .redis import RedisResult, run_redis
+from .spdk import SpdkResult, run_spdk
+
+__all__ = [
+    "RequestResponseApp",
+    "AppStats",
+    "segments_for",
+    "run_iperf",
+    "run_bidirectional_iperf",
+    "run_netperf_rpc",
+    "NetperfResult",
+    "run_redis",
+    "RedisResult",
+    "run_nginx",
+    "NginxResult",
+    "run_spdk",
+    "SpdkResult",
+]

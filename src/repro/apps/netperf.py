@@ -1,0 +1,96 @@
+"""netperf-style RPC latency workload (Fig 9).
+
+A latency-sensitive request/response application colocated with
+throughput-bound iperf flows, as in multi-tenant deployments: the RPC
+runs on its own core (no CPU interference) but shares the NIC, PCIe,
+IOMMU and switch with the iperf traffic — so its tail latency picks up
+exactly the queueing (P99) and drop/retransmission (P99.9+) inflation
+the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.metrics import PERCENTILES_FIG9
+from ..host.config import HostConfig
+from ..host.testbed import Testbed
+from .base import RequestResponseApp
+
+__all__ = ["run_netperf_rpc", "NetperfResult"]
+
+
+@dataclass
+class NetperfResult:
+    """RPC latency percentiles plus the background load achieved."""
+
+    mode: str
+    rpc_bytes: int
+    rpc_count: int
+    percentiles_ns: dict = field(default_factory=dict)
+    background_gbps: float = 0.0
+    mean_ns: float = 0.0
+
+
+def run_netperf_rpc(
+    mode: str,
+    rpc_bytes: int,
+    background_flows: int = 5,
+    warmup_ns: float = 3_000_000.0,
+    measure_ns: float = 30_000_000.0,
+    **config_overrides,
+) -> NetperfResult:
+    """Run the Fig 9 workload for one (mode, RPC size) point.
+
+    The host gets one extra core beyond the iperf cores; the RPC
+    connection is pinned there.
+    """
+    config = HostConfig.cascade_lake(
+        mode=mode,
+        num_cores=min(background_flows, 5) + 1,
+        **config_overrides,
+    )
+    testbed = Testbed(config)
+    rpc_core = config.num_cores - 1
+    testbed.add_rx_flows(
+        background_flows, cores=list(range(config.num_cores - 1))
+    )
+    app = RequestResponseApp(
+        testbed,
+        initiator="remote",
+        request_bytes=rpc_bytes,
+        response_bytes=rpc_bytes,
+        pipeline_depth=1,
+        connections=1,
+        cores=[rpc_core],
+        record_latency=True,
+    )
+    testbed.remote.start_all()
+    testbed.sim.run(until=warmup_ns)
+    app.latency.samples.clear()
+    background_before = sum(
+        count
+        for flow, count in testbed.host.delivered_segments_by_flow.items()
+        if flow in testbed.rx_flow_ids
+    )
+    testbed.sim.run(until=warmup_ns + measure_ns)
+    background_after = sum(
+        count
+        for flow, count in testbed.host.delivered_segments_by_flow.items()
+        if flow in testbed.rx_flow_ids
+    )
+    result = NetperfResult(
+        mode=mode,
+        rpc_bytes=rpc_bytes,
+        rpc_count=len(app.latency),
+        background_gbps=(
+            (background_after - background_before)
+            * config.mtu_bytes
+            * 8
+            / measure_ns
+        ),
+    )
+    if len(app.latency):
+        result.percentiles_ns = app.latency.percentiles(PERCENTILES_FIG9)
+        result.mean_ns = app.latency.mean
+    return result

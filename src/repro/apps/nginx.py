@@ -1,0 +1,82 @@
+"""Nginx/wrk web-serving workload (Fig 11b).
+
+wrk-style clients fetch 128 KB - 2 MB web pages (the paper cites ~2 MB
+as today's average page weight) over persistent connections.  The
+measured host is the end receiving the bulk page data through its Rx
+datapath, sending a small HTTP GET per transaction; per-page HTTP
+processing costs cap application throughput around 90 Gbps even
+without memory protection, matching the paper's observation that Nginx
+is partly application-limited.
+
+Setup follows §4.2: 8 cores, 9 K MTU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..host.config import HostConfig
+from ..host.testbed import Testbed
+from .base import RequestResponseApp
+
+__all__ = ["run_nginx", "NginxResult", "nginx_request_cost_ns"]
+
+HTTP_GET_BYTES = 256  # request line + headers
+
+
+def nginx_request_cost_ns(message_bytes: int) -> float:
+    """Per-transaction HTTP processing: parsing, headers, buffers."""
+    return 9_000.0 + 0.035 * message_bytes
+
+
+@dataclass
+class NginxResult:
+    mode: str
+    page_bytes: int
+    goodput_gbps: float
+    requests_per_second: float
+
+
+def run_nginx(
+    mode: str,
+    page_bytes: int,
+    connections_per_core: int = 4,
+    pipeline_depth: int = 2,
+    num_cores: int = 8,
+    mtu_bytes: int = 9000,
+    warmup_ns: float = 3_000_000.0,
+    measure_ns: float = 10_000_000.0,
+    allocator_aging_iovas: int = 98304,
+    **config_overrides,
+) -> NginxResult:
+    """Run one (mode, page size) Nginx point."""
+    config = HostConfig.cascade_lake(
+        mode=mode,
+        num_cores=num_cores,
+        mtu_bytes=mtu_bytes,
+        allocator_aging_iovas=allocator_aging_iovas,
+        **config_overrides,
+    )
+    testbed = Testbed(config)
+    app = RequestResponseApp(
+        testbed,
+        initiator="host",
+        request_bytes=HTTP_GET_BYTES,
+        response_bytes=page_bytes,
+        pipeline_depth=pipeline_depth,
+        connections=connections_per_core * num_cores,
+        host_app_cost_ns=nginx_request_cost_ns,
+    )
+    testbed.remote.start_all()
+    testbed.sim.run(until=warmup_ns)
+    requests_before = app.stats.requests_completed
+    bytes_before = app.stats.bulk_bytes_delivered
+    testbed.sim.run(until=warmup_ns + measure_ns)
+    requests = app.stats.requests_completed - requests_before
+    goodput_bytes = app.stats.bulk_bytes_delivered - bytes_before
+    return NginxResult(
+        mode=mode,
+        page_bytes=page_bytes,
+        goodput_gbps=goodput_bytes * 8 / measure_ns,
+        requests_per_second=requests / (measure_ns / 1e9),
+    )

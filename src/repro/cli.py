@@ -1,0 +1,117 @@
+"""Command-line interface: reproduce any figure without writing code.
+
+Usage::
+
+    python -m repro list                 # what can be reproduced
+    python -m repro fig2                 # run Fig 2 at the quick scale
+    python -m repro fig9 --full          # full-length run
+    python -m repro fig12 --out out.txt  # also write the table to a file
+    python -m repro all                  # every figure, quick scale
+
+Each command prints the reproduced table (the same rows the paper's
+figure plots) and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional
+
+from .experiments import (
+    FULL,
+    QUICK,
+    fig2_flows,
+    fig3_ring,
+    fig7_fns_flows,
+    fig8_fns_ring,
+    fig9_rpc_latency,
+    fig10_rxtx,
+    fig11_nginx,
+    fig11_redis,
+    fig11_spdk,
+    fig12_ablation,
+    model_fit,
+)
+
+__all__ = ["main", "FIGURES"]
+
+FIGURES: dict[str, tuple[Callable, str]] = {
+    "fig2": (fig2_flows, "Linux strict vs IOMMU off, varying flows"),
+    "fig3": (fig3_ring, "Linux strict vs IOMMU off, varying ring size"),
+    "model": (model_fit, "Section 2.2 analytic throughput model"),
+    "fig7": (fig7_fns_flows, "F&S vs strict vs off, varying flows"),
+    "fig8": (fig8_fns_ring, "F&S under increasing ring sizes"),
+    "fig9": (fig9_rpc_latency, "RPC tail latency under colocation"),
+    "fig10": (fig10_rxtx, "Concurrent Rx/Tx interference (Ice Lake)"),
+    "fig11a": (fig11_redis, "Redis SET throughput"),
+    "fig11b": (fig11_nginx, "Nginx throughput"),
+    "fig11c": (fig11_spdk, "SPDK remote read throughput"),
+    "fig12": (fig12_ablation, "Ablation: each F&S idea is necessary"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce figures from 'Fast & Safe IO Memory Protection' "
+            "(SOSP 2024) in simulation."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        help="figure id (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-length runs (benchmark scale) instead of quick",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also append the reproduced table(s) to this file",
+    )
+    return parser
+
+
+def _emit(text: str, out_path: Optional[str]) -> None:
+    print(text)
+    if out_path:
+        with open(out_path, "a") as handle:
+            handle.write(text + "\n")
+
+
+def _list_figures() -> str:
+    lines = ["available figures:"]
+    for name, (_fn, description) in FIGURES.items():
+        lines.append(f"  {name:8s} {description}")
+    lines.append("  all      run every figure")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.figure == "list":
+        print(_list_figures())
+        return 0
+    scale = FULL if args.full else QUICK
+    if args.figure == "all":
+        names = list(FIGURES)
+    elif args.figure in FIGURES:
+        names = [args.figure]
+    else:
+        print(f"unknown figure {args.figure!r}\n\n{_list_figures()}",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        runner, _description = FIGURES[name]
+        result = runner(scale=scale)
+        _emit(result.format(), args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

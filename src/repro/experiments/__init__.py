@@ -1,0 +1,35 @@
+"""Experiment runners: one per paper figure, plus run-scale presets."""
+
+from .figures import (
+    FigureResult,
+    fig2_flows,
+    fig3_ring,
+    fig7_fns_flows,
+    fig8_fns_ring,
+    fig9_rpc_latency,
+    fig10_rxtx,
+    fig11_nginx,
+    fig11_redis,
+    fig11_spdk,
+    fig12_ablation,
+    model_fit,
+)
+from .settings import FULL, QUICK, RunScale
+
+__all__ = [
+    "FigureResult",
+    "fig2_flows",
+    "fig3_ring",
+    "model_fit",
+    "fig7_fns_flows",
+    "fig8_fns_ring",
+    "fig9_rpc_latency",
+    "fig10_rxtx",
+    "fig11_redis",
+    "fig11_nginx",
+    "fig11_spdk",
+    "fig12_ablation",
+    "RunScale",
+    "QUICK",
+    "FULL",
+]

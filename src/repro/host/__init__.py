@@ -1,0 +1,18 @@
+"""Host assembly: configs, CPU model, measured host, peer, testbed."""
+
+from .config import CpuCosts, HostConfig, MODE_NAMES
+from .cpu import CoreSet
+from .remote import RemotePeer
+from .server import Host
+from .testbed import Testbed, TestbedResult
+
+__all__ = [
+    "HostConfig",
+    "CpuCosts",
+    "MODE_NAMES",
+    "CoreSet",
+    "Host",
+    "RemotePeer",
+    "Testbed",
+    "TestbedResult",
+]

@@ -1,0 +1,230 @@
+"""The two-server testbed: measured host + ideal peer + switch.
+
+This mirrors the paper's measurement setup (§2.2): two servers
+connected through one switch so that all bottlenecks are at the host.
+The testbed owns flow setup, warm-up handling, and the snapshot/delta
+measurement of every quantity the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..net.packet import PacketKind
+from ..net.switch import SwitchPort
+from ..sim import Simulator
+from .config import HostConfig
+from .remote import RemotePeer
+from .server import Host
+
+__all__ = ["Testbed", "TestbedResult"]
+
+# Flow-id ranges by role (documentation of convention, not enforcement).
+RX_FLOW_BASE = 0
+TX_FLOW_BASE = 1000
+RPC_REQ_BASE = 2000
+RPC_RESP_BASE = 3000
+
+
+@dataclass
+class TestbedResult:
+    """Everything measured over the post-warmup interval."""
+
+    mode: str
+    elapsed_ns: float
+    # Application-level (in-order delivered) throughput.
+    rx_goodput_gbps: float
+    tx_goodput_gbps: float
+    # Host drop behaviour.
+    drop_fraction: float
+    drops: int
+    arrived_packets: int
+    # Per-page IOMMU cache behaviour (None when IOMMU is off).
+    iotlb_misses_per_page: float = 0.0
+    ptcache_l1_misses_per_page: float = 0.0
+    ptcache_l2_misses_per_page: float = 0.0
+    ptcache_l3_misses_per_page: float = 0.0
+    memory_reads_per_page: float = 0.0
+    # Tx interference (Fig 2c crosses): host Tx packets per Rx page.
+    tx_packets_per_page: float = 0.0
+    # CPU.
+    max_core_utilization: float = 0.0
+    # Allocation trace slice for locality analysis (iova, pages).
+    allocation_trace: list = field(default_factory=list)
+    # Safety accounting.
+    stale_translations: int = 0
+    invalidation_requests: int = 0
+    rx_data_pages: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+class Testbed:
+    """Builds and runs one experiment configuration."""
+
+    # Not a pytest test class despite the name.
+    __test__ = False
+
+    def __init__(
+        self,
+        config: HostConfig,
+        switch_buffer_bytes: int = 2 << 20,
+        ecn_threshold_bytes: int = 600_000,
+        ecn_threshold_to_remote_bytes: int = 150_000,
+        propagation_ns: float = 2_000.0,
+    ) -> None:
+        # The two directions see different bottlenecks.  Toward the
+        # measured host, the real bottleneck is inside the host (PCIe /
+        # NIC buffer, no ECN there), so the switch queue only absorbs
+        # sender bursts and gets a high threshold to avoid spurious
+        # marks.  Toward the remote, the switch egress itself is the
+        # bottleneck for host-Tx traffic and gets a standard DCTCP K.
+        self.sim = Simulator()
+        self.config = config
+        self.port_to_host = SwitchPort(
+            self.sim,
+            rate_gbps=config.link_gbps,
+            buffer_bytes=switch_buffer_bytes,
+            ecn_threshold_bytes=ecn_threshold_bytes,
+            propagation_ns=propagation_ns,
+        )
+        self.port_to_remote = SwitchPort(
+            self.sim,
+            rate_gbps=config.link_gbps,
+            buffer_bytes=switch_buffer_bytes,
+            ecn_threshold_bytes=ecn_threshold_to_remote_bytes,
+            propagation_ns=propagation_ns,
+        )
+        self.host = Host(
+            self.sim, config, wire_out=self.port_to_remote.enqueue
+        )
+        self.remote = RemotePeer(
+            self.sim, config.dctcp, wire_out=self.port_to_host.enqueue
+        )
+        self.port_to_host.deliver = self.host.packet_from_wire
+        self.port_to_remote.deliver = self.remote.packet_from_wire
+        self.rx_flow_ids: list[int] = []
+        self.tx_flow_ids: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Flow setup
+    # ------------------------------------------------------------------
+    def add_rx_flows(
+        self, count: int, cores: Optional[list[int]] = None
+    ) -> list[int]:
+        """iperf-style flows from the peer into the measured host."""
+        flow_ids = []
+        for index in range(count):
+            flow_id = RX_FLOW_BASE + len(self.rx_flow_ids)
+            core = (
+                cores[index % len(cores)]
+                if cores
+                else flow_id % self.config.num_cores
+            )
+            self.host.register_rx_flow(flow_id, core)
+            self.remote.register_sender(flow_id, unlimited=True)
+            self.rx_flow_ids.append(flow_id)
+            flow_ids.append(flow_id)
+        return flow_ids
+
+    def add_tx_flows(
+        self, count: int, cores: Optional[list[int]] = None
+    ) -> list[int]:
+        """iperf-style flows from the measured host to the peer."""
+        flow_ids = []
+        for index in range(count):
+            flow_id = TX_FLOW_BASE + len(self.tx_flow_ids)
+            core = (
+                cores[index % len(cores)]
+                if cores
+                else flow_id % self.config.num_cores
+            )
+            self.host.register_tx_flow(flow_id, core, unlimited=True)
+            self.remote.register_receiver(flow_id)
+            self.tx_flow_ids.append(flow_id)
+            flow_ids.append(flow_id)
+        return flow_ids
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, warmup_ns: float = 5_000_000.0, measure_ns: float = 20_000_000.0
+    ) -> TestbedResult:
+        """Warm up, measure, and return the interval's deltas."""
+        self.remote.start_all()
+        for flow_id in self.tx_flow_ids:
+            self.host.pump_tx_flow(flow_id)
+        self.sim.run(until=warmup_ns)
+        snapshot = self._snapshot()
+        self.sim.run(until=warmup_ns + measure_ns)
+        return self._result(snapshot, measure_ns)
+
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> dict:
+        host = self.host
+        snap = {
+            "delivered_by_flow": dict(host.delivered_segments_by_flow),
+            "remote_delivered": dict(
+                self.remote.delivered_segments_by_flow
+            ),
+            "rx_data_pages": host.rx_data_pages,
+            "acks_sent": host.acks_sent,
+            "tx_data_segments": host.tx_data_segments,
+            "arrived": host.nic.stats.arrived_packets,
+            "drops": host.nic.stats.total_drops,
+            "busy_ns": list(host.cores.busy_ns),
+            "trace_len": len(host.allocation_trace),
+        }
+        if host.iommu is not None:
+            snap["iommu"] = host.iommu.stats.snapshot()
+        return snap
+
+    def _result(self, snap: dict, measure_ns: float) -> TestbedResult:
+        host = self.host
+        rx_segments = sum(
+            count - snap["delivered_by_flow"].get(flow_id, 0)
+            for flow_id, count in host.delivered_segments_by_flow.items()
+            if flow_id in self.rx_flow_ids
+        )
+        tx_segments = sum(
+            count - snap["remote_delivered"].get(flow_id, 0)
+            for flow_id, count in self.remote.delivered_segments_by_flow.items()
+            if flow_id in self.tx_flow_ids
+        )
+        mtu_bits = self.config.mtu_bytes * 8
+        rx_gbps = rx_segments * mtu_bits / measure_ns
+        tx_gbps = tx_segments * mtu_bits / measure_ns
+        arrived = host.nic.stats.arrived_packets - snap["arrived"]
+        drops = host.nic.stats.total_drops - snap["drops"]
+        pages = host.rx_data_pages - snap["rx_data_pages"]
+        acks = host.acks_sent - snap["acks_sent"]
+        tx_data = host.tx_data_segments - snap["tx_data_segments"]
+        result = TestbedResult(
+            mode=self.config.mode,
+            elapsed_ns=measure_ns,
+            rx_goodput_gbps=rx_gbps,
+            tx_goodput_gbps=tx_gbps,
+            drop_fraction=(drops / arrived) if arrived else 0.0,
+            drops=drops,
+            arrived_packets=arrived,
+            tx_packets_per_page=((acks + tx_data) / pages) if pages else 0.0,
+            max_core_utilization=max(
+                (busy - before) / measure_ns
+                for busy, before in zip(host.cores.busy_ns, snap["busy_ns"])
+            ),
+            allocation_trace=host.allocation_trace[snap["trace_len"]:],
+            rx_data_pages=pages,
+        )
+        if host.iommu is not None and pages > 0:
+            delta = host.iommu.stats.delta(snap["iommu"])
+            per_page = delta.per_page(pages)
+            result.iotlb_misses_per_page = per_page.iotlb
+            result.ptcache_l1_misses_per_page = per_page.l1
+            result.ptcache_l2_misses_per_page = per_page.l2
+            result.ptcache_l3_misses_per_page = per_page.l3
+            result.memory_reads_per_page = per_page.memory_reads
+            result.invalidation_requests = delta.invalidation_requests
+        if hasattr(host.driver, "stale_translations"):
+            result.stale_translations = host.driver.stale_translations
+        return result

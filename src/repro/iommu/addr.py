@@ -1,0 +1,93 @@
+"""IOVA address arithmetic for the 4-level Intel VT-d style IO page table.
+
+IOVAs are 48 bits wide and translated through four page-table levels
+(the paper's PT-L1 .. PT-L4; PT-L1 is the root).  Each page-table page
+holds 512 8-byte entries, so each level consumes 9 bits of the IOVA:
+
+====== ============== ======================= =========================
+Level  IOVA bits      One *entry* covers      One *page* covers
+====== ============== ======================= =========================
+PT-L1  [39, 48)       512 GB  (2^39 bytes)    256 TB (the whole space)
+PT-L2  [30, 39)       1 GB    (2^30 bytes)    512 GB
+PT-L3  [21, 30)       2 MB    (2^21 bytes)    1 GB
+PT-L4  [12, 21)       4 KB    (2^12 bytes)    2 MB
+====== ============== ======================= =========================
+
+The IO page table caches mirror this: a PTcache-L1 entry maps IOVA bits
+[39, 48) to a PT-L2 page (so it covers 2^39 bytes of IOVA space), a
+PTcache-L2 entry covers 2^30 bytes, a PTcache-L3 entry covers 2^21
+bytes.  These coverage numbers are exactly the ones the paper's §2.2
+reasoning relies on.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "IOVA_BITS",
+    "IOVA_SPACE_SIZE",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "LEVEL_SHIFTS",
+    "ENTRIES_PER_PAGE",
+    "PTL4_PAGE_SHIFT",
+    "PTL4_PAGE_SIZE",
+    "PTL3_PAGE_SHIFT",
+    "PTL2_PAGE_SHIFT",
+    "vpn",
+    "level_index",
+    "ptcache_key",
+    "ptcache_coverage_bytes",
+    "page_align_down",
+    "page_align_up",
+]
+
+IOVA_BITS = 48
+IOVA_SPACE_SIZE = 1 << IOVA_BITS
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+ENTRIES_PER_PAGE = 512  # 9 bits per level
+
+# Shift of the *entry coverage* at each level, keyed by level number
+# (1 = root).  A PT-Ln entry selected by IOVA bits [shift, shift + 9).
+LEVEL_SHIFTS = {1: 39, 2: 30, 3: 21, 4: 12}
+
+# A PT-L4 page (the leaf page) covers 512 * 4 KB = 2 MB of IOVA space.
+PTL4_PAGE_SHIFT = 21
+PTL4_PAGE_SIZE = 1 << PTL4_PAGE_SHIFT
+# A PT-L3 page covers 1 GB; a PT-L2 page covers 512 GB.
+PTL3_PAGE_SHIFT = 30
+PTL2_PAGE_SHIFT = 39
+
+
+def vpn(iova: int) -> int:
+    """Virtual page number of an IOVA (its 4 KB page index)."""
+    return iova >> PAGE_SHIFT
+
+
+def level_index(iova: int, level: int) -> int:
+    """Index into the PT-L``level`` page for ``iova`` (0..511)."""
+    return (iova >> LEVEL_SHIFTS[level]) & (ENTRIES_PER_PAGE - 1)
+
+
+def ptcache_key(iova: int, level: int) -> int:
+    """Tag used by the PTcache at ``level`` (1, 2 or 3) for ``iova``.
+
+    A PTcache-L``level`` entry maps this tag to the PT-L``level+1`` page,
+    so the tag is the IOVA truncated at that level's coverage.
+    """
+    return iova >> LEVEL_SHIFTS[level]
+
+
+def ptcache_coverage_bytes(level: int) -> int:
+    """Bytes of IOVA space covered by one PTcache entry at ``level``."""
+    return 1 << LEVEL_SHIFTS[level]
+
+
+def page_align_down(addr: int) -> int:
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def page_align_up(addr: int) -> int:
+    return (addr + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)

@@ -1,0 +1,106 @@
+"""The IOMMU invalidation queue interface.
+
+VT-d exposes invalidations to the driver through a memory-resident
+*invalidation queue*: the driver enqueues descriptors and (in strict
+mode) spins until the hardware completes them.  Two properties of this
+interface carry the paper's design:
+
+1. A single queue entry can invalidate an **address range**, not just
+   one page — F&S exploits this to invalidate a whole descriptor's
+   worth of contiguous IOVA with one entry (Fig 6b), amortizing the
+   per-entry CPU wait.
+
+2. The descriptor has an option to invalidate **only the IOTLB entry
+   while preserving the page-structure (PTcache) entries** — F&S's
+   mechanism for preserving PTcaches across unmaps (§3).
+
+The CPU cost model: each queue entry costs the submitting core a fixed
+submit-plus-wait time (hundreds of ns in practice [Peleg et al. 2015]).
+Batched invalidation therefore reduces per-descriptor CPU cost 64x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .iotlb import Iotlb
+from .ptcache import PtCacheHierarchy
+from .stats import IommuStats
+
+__all__ = ["InvalidationQueue", "InvalidationRequest"]
+
+
+@dataclass(frozen=True)
+class InvalidationRequest:
+    """One invalidation-queue descriptor (for tracing and tests)."""
+
+    iova: int
+    length: int
+    preserve_ptcache: bool
+
+
+class InvalidationQueue:
+    """Models the VT-d queued-invalidation interface.
+
+    ``cpu_cost_ns`` is the per-descriptor submit-and-wait cost charged
+    to the requesting core; callers accumulate the returned costs into
+    their CPU budget.
+    """
+
+    def __init__(
+        self,
+        iotlb: Iotlb,
+        ptcaches: PtCacheHierarchy,
+        stats: IommuStats,
+        cpu_cost_ns: float = 250.0,
+        trace: bool = False,
+    ) -> None:
+        self.iotlb = iotlb
+        self.ptcaches = ptcaches
+        self.stats = stats
+        self.cpu_cost_ns = cpu_cost_ns
+        self.trace = trace
+        self.requests: list[InvalidationRequest] = []
+        self.total_cpu_ns = 0.0
+
+    def invalidate_range(
+        self, iova: int, length: int, preserve_ptcache: bool
+    ) -> float:
+        """Submit one invalidation descriptor for ``[iova, iova+length)``.
+
+        ``preserve_ptcache=False`` is the Linux behaviour (drop IOTLB
+        *and* every PTcache entry covering the range); ``True`` is the
+        F&S behaviour (IOTLB only).  Returns the CPU cost in ns.
+        """
+        self.iotlb.invalidate_range(iova, length)
+        self.stats.invalidation_requests += 1
+        if not preserve_ptcache:
+            self.ptcaches.invalidate_range(iova, length)
+            self.stats.ptcache_invalidation_requests += 1
+        if self.trace:
+            self.requests.append(
+                InvalidationRequest(iova, length, preserve_ptcache)
+            )
+        self.total_cpu_ns += self.cpu_cost_ns
+        return self.cpu_cost_ns
+
+    def invalidate_ptcache_range(self, iova: int, length: int) -> float:
+        """Drop only PTcache entries covering a range (no IOTLB).
+
+        Used by F&S when an unmap reclaimed a page-table page: the entry
+        pointing at the reclaimed page must go, but the corresponding
+        IOTLB invalidation was already issued.
+        """
+        self.ptcaches.invalidate_range(iova, length)
+        self.stats.ptcache_invalidation_requests += 1
+        self.total_cpu_ns += self.cpu_cost_ns
+        return self.cpu_cost_ns
+
+    def flush_all(self) -> float:
+        """Global IOTLB + PTcache flush (deferred mode's periodic flush)."""
+        self.iotlb.flush()
+        self.ptcaches.flush()
+        self.stats.invalidation_requests += 1
+        self.stats.ptcache_invalidation_requests += 1
+        self.total_cpu_ns += self.cpu_cost_ns
+        return self.cpu_cost_ns

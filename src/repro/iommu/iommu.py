@@ -1,0 +1,232 @@
+"""The IOMMU: translation, caching, walking and fault semantics.
+
+This class glues together the IO page table, IOTLB, PTcache hierarchy
+and invalidation queue, and exposes the two operations the datapath
+performs:
+
+* :meth:`translate` — the per-PCIe-transaction address translation:
+  IOTLB probe; on miss a walk shortened by the PTcaches, counting the
+  memory reads the walk needs (1 in the best case, 4 in the worst);
+
+* :meth:`reserve_walk` — the *timing* side: page-walk memory reads are
+  serialized at the page-table walker and cost ``lm`` (197 ns by the
+  paper's fit) each.  Rx and Tx translations share the walker, which is
+  how Tx/ACK traffic inflates Rx DMA latency (paper §2.2).
+
+A DMA to an unmapped IOVA raises :class:`DmaFault` — the safety
+property.  Strict mode and F&S guarantee that a device access after
+unmap faults; the deferred mode does not (stale IOTLB entries may still
+translate), which the safety tests demonstrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..mem.latency import DEFAULT_LM_NS, MemoryLatencyModel
+from .invalidation import InvalidationQueue
+from .iotlb import Iotlb
+from .pagetable import IOPageTable
+from .ptcache import PtCacheHierarchy
+from .stats import IommuStats
+
+__all__ = ["Iommu", "IommuConfig", "TranslationResult", "DmaFault"]
+
+
+class DmaFault(Exception):
+    """A DMA targeted an IOVA with no valid translation.
+
+    In hardware this aborts the transaction and logs a fault; raising is
+    the simulation's way of catching any safety violation immediately.
+    """
+
+    def __init__(self, iova: int):
+        super().__init__(f"DMA fault: iova {iova:#x} has no translation")
+        self.iova = iova
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Outcome of one translation.
+
+    ``memory_reads`` is 0 on an IOTLB hit; otherwise the number of IO
+    page table accesses the (PTcache-shortened) walk performed.
+    ``stale`` flags a translation served from a stale IOTLB entry after
+    unmap (possible only in deferred mode) — a safety violation.
+    """
+
+    frame: int
+    iotlb_hit: bool
+    memory_reads: int
+    stale: bool = False
+
+
+@dataclass
+class IommuConfig:
+    """Cache geometry and timing knobs for the IOMMU model."""
+
+    iotlb_entries: int = 128
+    iotlb_ways: int = 8
+    # Verify on every IOTLB hit that the page table still maps the IOVA
+    # (detects stale-entry use).  Strict mode and F&S invalidate on every
+    # unmap, so an IOTLB hit implies a live mapping and the check is
+    # skipped for speed; the deferred driver enables it to surface its
+    # safety hole in the tests.
+    check_stale_hits: bool = False
+    ptcache_l1_entries: int = 32
+    ptcache_l2_entries: int = 32
+    ptcache_l3_entries: int = 64
+    lm_ns: float = DEFAULT_LM_NS
+    invalidation_cpu_ns: float = 250.0
+    trace_invalidations: bool = False
+    # Concurrent page-table walkers.  Hardware IOMMUs track several
+    # walks in flight; reads *within* one walk are sequential (each
+    # level's read depends on the previous), but walks for different
+    # pages proceed in parallel.  The default of 2 reproduces the
+    # paper's serial-reads-per-packet throughput model at 4 KB MTU
+    # while letting multi-page (9 K MTU) DMAs overlap their per-page
+    # walks, as the fitted lm = 197 ns implies.
+    walkers: int = 2
+
+
+class Iommu:
+    """The full IOMMU model (translation caches + page table + walker)."""
+
+    def __init__(self, config: IommuConfig | None = None) -> None:
+        self.config = config or IommuConfig()
+        self.page_table = IOPageTable()
+        self.iotlb = Iotlb(self.config.iotlb_entries, self.config.iotlb_ways)
+        self.ptcaches = PtCacheHierarchy(
+            self.config.ptcache_l1_entries,
+            self.config.ptcache_l2_entries,
+            self.config.ptcache_l3_entries,
+        )
+        self.stats = IommuStats()
+        self.invalidation_queue = InvalidationQueue(
+            self.iotlb,
+            self.ptcaches,
+            self.stats,
+            cpu_cost_ns=self.config.invalidation_cpu_ns,
+            trace=self.config.trace_invalidations,
+        )
+        self.memory = MemoryLatencyModel(base_read_ns=self.config.lm_ns)
+        if self.config.walkers <= 0:
+            raise ValueError("need at least one walker")
+        self._walker_free = [0.0] * self.config.walkers
+
+    # ------------------------------------------------------------------
+    # Translation (the per-transaction fast path)
+    # ------------------------------------------------------------------
+    def translate(self, iova: int, source: str = "rx") -> TranslationResult:
+        """Translate one IOVA as the root complex would.
+
+        Probes the IOTLB; on a miss, probes the PTcaches (in parallel,
+        deepest hit wins), walks the remaining levels, refills every
+        cache, and reports the number of memory reads the walk cost.
+        Raises :class:`DmaFault` if no translation exists anywhere.
+        """
+        stats = self.stats
+        stats.translations += 1
+        by_source = stats.translations_by_source
+        by_source[source] = by_source.get(source, 0) + 1
+
+        frame = self.iotlb.lookup(iova)
+        if frame is not None:
+            stats.iotlb_hits += 1
+            # A present IOTLB entry is used without consulting the page
+            # table — if the page table no longer maps this IOVA the
+            # access is *stale* (deferred-mode safety hole).
+            stale = (
+                self.config.check_stale_hits
+                and not self.page_table.is_mapped(iova)
+            )
+            return TranslationResult(
+                frame=frame, iotlb_hit=True, memory_reads=0, stale=stale
+            )
+
+        stats.iotlb_misses += 1
+        misses_by_source = stats.iotlb_misses_by_source
+        misses_by_source[source] = misses_by_source.get(source, 0) + 1
+
+        walk = self.page_table.walk(iova)
+        if walk is None:
+            stats.faults += 1
+            raise DmaFault(iova)
+        stats.walks += 1
+        if walk.huge:
+            # The walk terminates at the PT-L3 entry: only PTcache-L1
+            # and PTcache-L2 can shorten it (1-3 memory reads).
+            outcome = self.ptcaches.probe_upper(iova)
+            memory_reads = outcome.memory_reads - 1
+            self.ptcaches.fill_upper(iova, walk.pages)
+            self.iotlb.insert_huge(
+                iova, walk.frame - ((iova >> 12) & 511)
+            )
+        else:
+            outcome = self.ptcaches.probe(iova)
+            memory_reads = outcome.memory_reads
+            self.ptcaches.fill(iova, walk.pages)
+            self.iotlb.insert(iova, walk.frame)
+        stats.memory_reads += memory_reads
+        for level in (1, 2, 3):
+            if outcome.counted_misses[level]:
+                stats.ptcache_counted_misses[level] += 1
+        return TranslationResult(
+            frame=walk.frame,
+            iotlb_hit=False,
+            memory_reads=memory_reads,
+        )
+
+    # ------------------------------------------------------------------
+    # Walker timing
+    # ------------------------------------------------------------------
+    def reserve_walk(
+        self,
+        now: float,
+        memory_reads: int,
+        utilization: float = 0.0,
+        channel: Optional[int] = None,
+    ) -> float:
+        """Reserve one walk of ``memory_reads`` *sequential* reads.
+
+        Reads within a walk serialize (each level's read depends on the
+        previous); walks for different pages run on the IOMMU's walker
+        channels.  By default a walk takes the least-loaded channel —
+        concurrent walks overlap up to the walker count and queue
+        beyond it, which is what makes cheap (1-read) F&S walks almost
+        free while expensive (4-read) post-invalidation walks back up.
+        Passing ``channel`` pins the walk for tests.  ``utilization``
+        optionally inflates per-read latency under memory-bandwidth
+        contention.  Returns the completion time.
+        """
+        if memory_reads <= 0:
+            return now
+        read_ns = self.memory.read_latency_ns(utilization)
+        channels = self._walker_free
+        if channel is None:
+            index = min(range(len(channels)), key=channels.__getitem__)
+        else:
+            index = channel % len(channels)
+        start = max(now, channels[index])
+        finish = start + memory_reads * read_ns
+        channels[index] = finish
+        return finish
+
+    @property
+    def walker_busy_until(self) -> float:
+        """When the most-loaded walker channel frees up."""
+        return max(self._walker_free)
+
+    # ------------------------------------------------------------------
+    # Mapping interface used by protection drivers
+    # ------------------------------------------------------------------
+    def map_page(self, iova: int, frame: int) -> None:
+        self.page_table.map_page(iova, frame)
+
+    def map_range(self, iova: int, frames: list[int]) -> None:
+        self.page_table.map_range(iova, frames)
+
+    def unmap_range(self, iova: int, length: int):
+        """Unmap a range in one operation; returns reclaimed PT pages."""
+        return self.page_table.unmap_range(iova, length)

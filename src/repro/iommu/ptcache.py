@@ -1,0 +1,215 @@
+"""IO page table caches (PTcache-L1/L2/L3).
+
+These are the caches the paper's contribution revolves around: per-level
+caches inside the IOMMU that map a truncated IOVA to the *next-level
+page-table page*, letting a walk skip the upper levels.  A PTcache-L3
+hit reduces a walk to a single memory read (the PT-L4 entry).
+
+Geometry defaults follow the paper's estimate (its Fig 2e/3e red lines
+put PTcache-L3 at 64–128 entries; we default to 64, the conservative
+end) and are configurable.  Each cache is fully associative LRU — upper
+level caches in CPU MMUs are typically small and fully associative
+[Bhattacharjee 2013], and the paper's reuse-distance methodology
+implicitly assumes LRU.
+
+A :class:`PtCacheHierarchy` bundles the three levels and implements the
+"probe all levels in parallel, use the deepest hit" walk-shortening
+behaviour, plus the two invalidation policies the paper contrasts:
+
+* ``invalidate_range`` — drop every entry covering the range at *all*
+  levels (what Linux does on every unmap);
+* targeted invalidation of entries pointing at *reclaimed* page-table
+  pages only (all F&S needs for correctness).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .addr import LEVEL_SHIFTS, ptcache_key
+
+__all__ = ["PtCache", "PtCacheHierarchy", "ProbeOutcome"]
+
+
+class PtCache:
+    """One fully-associative LRU page-table cache level."""
+
+    def __init__(self, level: int, entries: int) -> None:
+        if level not in (1, 2, 3):
+            raise ValueError("PTcache levels are 1, 2 and 3")
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.level = level
+        self.capacity = entries
+        self._entries: dict[int, object] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def lookup(self, iova: int) -> Optional[object]:
+        """Probe for the PT page covering ``iova`` at this level."""
+        key = ptcache_key(iova, self.level)
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        del self._entries[key]
+        self._entries[key] = value
+        self.hits += 1
+        return value
+
+    def contains(self, iova: int) -> bool:
+        """Non-counting, non-LRU-touching presence check (for tests)."""
+        return ptcache_key(iova, self.level) in self._entries
+
+    def insert(self, iova: int, page: object) -> None:
+        key = ptcache_key(iova, self.level)
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
+        self._entries[key] = page
+
+    def invalidate_range(self, iova: int, length: int) -> int:
+        """Drop entries whose coverage intersects ``[iova, iova+length)``."""
+        shift = LEVEL_SHIFTS[self.level]
+        first = iova >> shift
+        last = (iova + length - 1) >> shift
+        dropped = 0
+        if last - first + 1 >= len(self._entries):
+            for key in [k for k in self._entries if first <= k <= last]:
+                del self._entries[key]
+                dropped += 1
+        else:
+            for key in range(first, last + 1):
+                if key in self._entries:
+                    del self._entries[key]
+                    dropped += 1
+        self.invalidations += dropped
+        return dropped
+
+    def flush(self) -> int:
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += dropped
+        return dropped
+
+    @property
+    def resident_entries(self) -> int:
+        return len(self._entries)
+
+
+class ProbeOutcome:
+    """Result of probing all PTcache levels for one walk.
+
+    ``deepest_hit_level`` is 3, 2, 1 or 0 (no hit).  ``memory_reads`` is
+    the number of IO page table memory accesses the walk then needs:
+    ``4 - deepest_hit_level`` (a PTcache-L3 hit leaves only the PT-L4
+    read; a total miss costs the full 4 reads).
+
+    ``counted_misses`` holds, per level, whether that level's miss
+    *added a memory read* — i.e. missed along with every deeper level.
+    This is exactly the paper's m1/m2/m3 accounting ("misses at level i
+    that also led to misses in all levels below i").
+    """
+
+    __slots__ = ("deepest_hit_level", "memory_reads", "counted_misses")
+
+    def __init__(self, deepest_hit_level: int):
+        self.deepest_hit_level = deepest_hit_level
+        self.memory_reads = 4 - deepest_hit_level
+        self.counted_misses = {
+            1: deepest_hit_level < 1,
+            2: deepest_hit_level < 2,
+            3: deepest_hit_level < 3,
+        }
+
+
+class PtCacheHierarchy:
+    """The three PTcache levels plus walk-shortening and miss accounting."""
+
+    def __init__(
+        self,
+        l1_entries: int = 32,
+        l2_entries: int = 32,
+        l3_entries: int = 64,
+    ) -> None:
+        self.l1 = PtCache(1, l1_entries)
+        self.l2 = PtCache(2, l2_entries)
+        self.l3 = PtCache(3, l3_entries)
+        # The paper's m1/m2/m3: counted (read-adding) misses per level.
+        self.counted_misses = {1: 0, 2: 0, 3: 0}
+
+    @property
+    def levels(self) -> tuple[PtCache, PtCache, PtCache]:
+        return (self.l1, self.l2, self.l3)
+
+    def probe(self, iova: int) -> ProbeOutcome:
+        """Probe all levels (conceptually in parallel); deepest hit wins.
+
+        Updates per-level hit/miss statistics and the paper-style
+        counted-miss totals.
+        """
+        hit3 = self.l3.lookup(iova) is not None
+        hit2 = self.l2.lookup(iova) is not None
+        hit1 = self.l1.lookup(iova) is not None
+        if hit3:
+            deepest = 3
+        elif hit2:
+            deepest = 2
+        elif hit1:
+            deepest = 1
+        else:
+            deepest = 0
+        outcome = ProbeOutcome(deepest)
+        for level, counted in outcome.counted_misses.items():
+            if counted:
+                self.counted_misses[level] += 1
+        return outcome
+
+    def probe_upper(self, iova: int) -> ProbeOutcome:
+        """Probe only PTcache-L1/L2 (huge walks end at PT-L3).
+
+        The returned outcome's ``memory_reads`` still follows the
+        4-level convention; callers of huge walks subtract one (the
+        PT-L4 read that does not happen).  Counted misses exclude L3.
+        """
+        hit2 = self.l2.lookup(iova) is not None
+        hit1 = self.l1.lookup(iova) is not None
+        deepest = 2 if hit2 else (1 if hit1 else 0)
+        outcome = ProbeOutcome(deepest)
+        outcome.counted_misses[3] = False
+        for level in (1, 2):
+            if outcome.counted_misses[level]:
+                self.counted_misses[level] += 1
+        return outcome
+
+    def fill_upper(self, iova: int, walk_pages) -> None:
+        """Refill L1/L2 from a huge walk (chain is PT-L1..PT-L3)."""
+        self.l1.insert(iova, walk_pages[1])
+        self.l2.insert(iova, walk_pages[2])
+
+    def fill(self, iova: int, walk_pages) -> None:
+        """Refill all levels from a completed walk.
+
+        ``walk_pages`` is the PT-L1..PT-L4 page chain from
+        :meth:`IOPageTable.walk`; the PTcache-L``i`` entry points at the
+        PT-L``i+1`` page.
+        """
+        self.l1.insert(iova, walk_pages[1])
+        self.l2.insert(iova, walk_pages[2])
+        self.l3.insert(iova, walk_pages[3])
+
+    def invalidate_range(self, iova: int, length: int) -> int:
+        """Linux policy: drop covering entries at every level."""
+        return (
+            self.l1.invalidate_range(iova, length)
+            + self.l2.invalidate_range(iova, length)
+            + self.l3.invalidate_range(iova, length)
+        )
+
+    def flush(self) -> int:
+        return self.l1.flush() + self.l2.flush() + self.l3.flush()

@@ -1,0 +1,193 @@
+"""IOVA allocator interfaces and the rbtree-backed slow path.
+
+The allocator hands out IOVA *page ranges* and guarantees a range is
+only reallocated after it is freed.  Addresses are allocated top-down
+from the end of the 48-bit space, exactly like Linux's
+``alloc_iova(..., limit_pfn)`` path: walk the red-black tree of
+allocated ranges from the highest node downward until a free gap of the
+requested size appears.
+
+CPU cost accounting: each operation charges a cost (ns) to the calling
+core; the tree path costs much more than the per-CPU cache hit path,
+which is the trade-off §2.2 describes.  Costs are tallied per core so
+the host model can include them in core utilization.
+
+Every successful allocation can be appended to an *allocation trace*
+(``(iova, pages)`` tuples) which the locality analysis
+(:mod:`repro.analysis.locality`) converts into the reuse-distance plots
+of Figs 2e/3e/7e/8e.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..iommu.addr import IOVA_BITS, PAGE_SHIFT
+from .rbtree import IovaRange, IovaRbTree
+
+__all__ = [
+    "IovaAllocator",
+    "RbTreeIovaAllocator",
+    "IovaExhaustedError",
+    "DEFAULT_LIMIT_PFN",
+]
+
+# Highest allocatable pfn: the top of the 48-bit IOVA space.
+DEFAULT_LIMIT_PFN = (1 << (IOVA_BITS - PAGE_SHIFT)) - 1
+
+
+class IovaExhaustedError(RuntimeError):
+    """No free IOVA gap of the requested size exists below the limit."""
+
+
+class IovaAllocator(Protocol):
+    """The allocator interface shared by the slow path and cached fronts.
+
+    ``cpu`` identifies the calling core for cost accounting (and, in the
+    caching allocator, selects the per-CPU cache).
+    """
+
+    def alloc(self, pages: int, cpu: int = 0) -> int:
+        """Allocate ``pages`` contiguous IOVA pages; returns byte address."""
+        ...
+
+    def free(self, iova: int, pages: int, cpu: int = 0) -> None:
+        """Return a previously allocated range."""
+        ...
+
+
+class RbTreeIovaAllocator:
+    """Linux-style rbtree IOVA allocator (the slow path).
+
+    Parameters
+    ----------
+    limit_pfn:
+        Allocation proceeds top-down from this pfn.
+    tree_op_cost_ns:
+        CPU cost charged per tree operation (insert/delete plus scan);
+        the gap scan adds ``scan_step_cost_ns`` per node visited,
+        modeling the worst-case linear searches the paper mentions.
+    trace:
+        When given, successful allocations append ``(iova, pages)``.
+    """
+
+    def __init__(
+        self,
+        limit_pfn: int = DEFAULT_LIMIT_PFN,
+        tree_op_cost_ns: float = 300.0,
+        scan_step_cost_ns: float = 15.0,
+        trace: Optional[list[tuple[int, int]]] = None,
+    ) -> None:
+        self.limit_pfn = limit_pfn
+        self.tree = IovaRbTree()
+        self.tree_op_cost_ns = tree_op_cost_ns
+        self.scan_step_cost_ns = scan_step_cost_ns
+        self.trace = trace
+        self.cpu_ns_by_core: dict[int, float] = {}
+        self.alloc_count = 0
+        self.free_count = 0
+        self.allocated_pages = 0
+        # Linux's cached-node optimization: the next gap scan resumes
+        # from the last allocation instead of rescanning from the top,
+        # keeping the common case O(1) even when higher address space
+        # is fragmented.  Gaps that open above the cached node are
+        # found by a retry-from-top pass when the downward scan fails.
+        self._cached: Optional[IovaRange] = None
+
+    # ------------------------------------------------------------------
+    def _charge(self, cpu: int, cost_ns: float) -> None:
+        self.cpu_ns_by_core[cpu] = self.cpu_ns_by_core.get(cpu, 0.0) + cost_ns
+
+    def alloc(self, pages: int, cpu: int = 0, align_pages: int = 1) -> int:
+        """Allocate top-down; returns the byte address of the range.
+
+        The gap scan starts at the cached node (the previous
+        allocation); if no gap exists below it, one retry scans from
+        the very top to pick up gaps that opened through frees.
+        ``align_pages`` aligns the returned range's start (hugepage
+        chunks need 2 MB alignment).
+        """
+        if pages <= 0:
+            raise ValueError("pages must be positive")
+        if align_pages <= 0 or align_pages & (align_pages - 1):
+            raise ValueError("alignment must be a positive power of two")
+        cost = self.tree_op_cost_ns
+        found = self._scan_down(self._cached, pages, align_pages)
+        if found is None and self._cached is not None:
+            found = self._scan_down(None, pages, align_pages)
+            cost += self.scan_step_cost_ns * min(len(self.tree), 64)
+        if found is None:
+            self._charge(cpu, cost)
+            raise IovaExhaustedError(
+                f"no gap of {pages} pages below pfn {self.limit_pfn:#x}"
+            )
+        pfn_lo, steps = found
+        cost += self.scan_step_cost_ns * steps
+        new_range = IovaRange(pfn_lo, pfn_lo + pages - 1)
+        self.tree.insert(new_range)
+        self._cached = new_range
+        self._charge(cpu, cost)
+        self.alloc_count += 1
+        self.allocated_pages += pages
+        iova = pfn_lo << PAGE_SHIFT
+        if self.trace is not None:
+            self.trace.append((iova, pages))
+        return iova
+
+    def _scan_down(
+        self, start: Optional[IovaRange], pages: int, align_pages: int = 1
+    ):
+        """Find the highest (aligned) gap of ``pages`` at/below ``start``.
+
+        Returns ``(pfn_lo, steps)`` or ``None``.  ``start=None`` scans
+        from the top of the space.
+        """
+        steps = 0
+        if start is None:
+            prev_lo = self.limit_pfn + 1
+            node = self.tree.maximum()
+        else:
+            prev_lo = start.pfn_lo
+            node = self.tree.predecessor(start)
+        mask = ~(align_pages - 1)
+        while node is not None:
+            candidate = (prev_lo - pages) & mask
+            if candidate > node.pfn_hi:
+                return candidate, steps
+            prev_lo = node.pfn_lo
+            node = self.tree.predecessor(node)
+            steps += 1
+        candidate = (prev_lo - pages) & mask
+        if candidate >= 0:
+            return candidate, steps
+        return None
+
+    def free(self, iova: int, pages: int, cpu: int = 0) -> None:
+        """Free a range previously returned by :meth:`alloc`."""
+        pfn_lo = iova >> PAGE_SHIFT
+        node = self.tree.find(pfn_lo)
+        if node is None:
+            raise ValueError(f"iova {iova:#x} is not allocated")
+        if node.size != pages:
+            raise ValueError(
+                f"iova {iova:#x} was allocated with {node.size} pages, "
+                f"freed with {pages}"
+            )
+        if self._cached is not None and node.pfn_lo >= self._cached.pfn_lo:
+            # Linux __cached_rbnode_delete_update: a free at or above
+            # the cached scan position moves the cached node to the
+            # freed node's higher neighbour, so the next downward scan
+            # sees the hole just opened.
+            self._cached = self.tree.successor(node)
+        self.tree.delete(node)
+        self._charge(cpu, self.tree_op_cost_ns)
+        self.free_count += 1
+        self.allocated_pages -= pages
+
+    def is_allocated(self, iova: int) -> bool:
+        """Whether the page containing ``iova`` is inside any range."""
+        return self.tree.find_containing(iova >> PAGE_SHIFT) is not None
+
+    @property
+    def total_cpu_ns(self) -> float:
+        return sum(self.cpu_ns_by_core.values())

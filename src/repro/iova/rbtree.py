@@ -1,0 +1,360 @@
+"""A red-black tree of allocated IOVA ranges (the Linux ``iova`` rbtree).
+
+Linux's IOVA allocator keeps every *allocated* range in a red-black
+tree sorted by address and allocates new ranges top-down: starting from
+the highest allocated node (or a cached scan position), it walks
+predecessors until it finds a free gap large enough.  The tree is the
+slow path — O(log n) insert/delete plus a potentially linear gap scan —
+which is why Linux fronts it with per-CPU caches (see
+:mod:`repro.iova.caching`) and why the paper's §2.2 calls out the CPU
+efficiency vs. locality trade-off.
+
+This is a textbook red-black tree (CLRS-style, with a NIL sentinel)
+specialized to hold :class:`IovaRange` nodes; :meth:`check_invariants`
+verifies the red-black properties for the property-based tests.
+
+Units: allocation is done in *page frame numbers* (pfn = iova >> 12),
+matching Linux.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = ["IovaRange", "IovaRbTree"]
+
+RED = 0
+BLACK = 1
+
+
+class IovaRange:
+    """One allocated IOVA range ``[pfn_lo, pfn_hi]`` (inclusive)."""
+
+    __slots__ = ("pfn_lo", "pfn_hi", "color", "parent", "left", "right")
+
+    def __init__(self, pfn_lo: int, pfn_hi: int):
+        self.pfn_lo = pfn_lo
+        self.pfn_hi = pfn_hi
+        self.color = RED
+        self.parent: Optional["IovaRange"] = None
+        self.left: Optional["IovaRange"] = None
+        self.right: Optional["IovaRange"] = None
+
+    @property
+    def size(self) -> int:
+        return self.pfn_hi - self.pfn_lo + 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        color = "R" if self.color == RED else "B"
+        return f"<IovaRange [{self.pfn_lo:#x},{self.pfn_hi:#x}] {color}>"
+
+
+class IovaRbTree:
+    """Red-black tree of non-overlapping :class:`IovaRange` nodes."""
+
+    def __init__(self) -> None:
+        self.nil = IovaRange(-1, -1)
+        self.nil.color = BLACK
+        self.nil.parent = self.nil
+        self.nil.left = self.nil
+        self.nil.right = self.nil
+        self.root: IovaRange = self.nil
+        self.size = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return self.root is self.nil
+
+    def find(self, pfn_lo: int) -> Optional[IovaRange]:
+        """Find the node whose range starts exactly at ``pfn_lo``."""
+        node = self.root
+        while node is not self.nil:
+            if pfn_lo < node.pfn_lo:
+                node = node.left
+            elif pfn_lo > node.pfn_lo:
+                node = node.right
+            else:
+                return node
+        return None
+
+    def find_containing(self, pfn: int) -> Optional[IovaRange]:
+        """Find the node whose range contains ``pfn``, if any."""
+        node = self.root
+        while node is not self.nil:
+            if pfn < node.pfn_lo:
+                node = node.left
+            elif pfn > node.pfn_hi:
+                node = node.right
+            else:
+                return node
+        return None
+
+    def maximum(self) -> Optional[IovaRange]:
+        """The highest-addressed range."""
+        if self.root is self.nil:
+            return None
+        node = self.root
+        while node.right is not self.nil:
+            node = node.right
+        return node
+
+    def predecessor(self, node: IovaRange) -> Optional[IovaRange]:
+        """The next-lower-addressed range."""
+        if node.left is not self.nil:
+            node = node.left
+            while node.right is not self.nil:
+                node = node.right
+            return node
+        parent = node.parent
+        while parent is not self.nil and node is parent.left:
+            node = parent
+            parent = parent.parent
+        return None if parent is self.nil else parent
+
+    def successor(self, node: IovaRange) -> Optional[IovaRange]:
+        """The next-higher-addressed range."""
+        if node.right is not self.nil:
+            node = node.right
+            while node.left is not self.nil:
+                node = node.left
+            return node
+        parent = node.parent
+        while parent is not self.nil and node is parent.right:
+            node = parent
+            parent = parent.parent
+        return None if parent is self.nil else parent
+
+    def __iter__(self) -> Iterator[IovaRange]:
+        """In-order (ascending address) iteration."""
+        stack: list[IovaRange] = []
+        node = self.root
+        while stack or node is not self.nil:
+            while node is not self.nil:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node
+            node = node.right
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, node: IovaRange) -> None:
+        """Insert an :class:`IovaRange`; ranges must not overlap."""
+        parent = self.nil
+        current = self.root
+        while current is not self.nil:
+            parent = current
+            if node.pfn_lo < current.pfn_lo:
+                current = current.left
+            else:
+                current = current.right
+        node.parent = parent
+        node.left = self.nil
+        node.right = self.nil
+        node.color = RED
+        if parent is self.nil:
+            self.root = node
+        elif node.pfn_lo < parent.pfn_lo:
+            parent.left = node
+        else:
+            parent.right = node
+        self.size += 1
+        self._insert_fixup(node)
+
+    def _insert_fixup(self, node: IovaRange) -> None:
+        while node.parent.color == RED:
+            parent = node.parent
+            grandparent = parent.parent
+            if parent is grandparent.left:
+                uncle = grandparent.right
+                if uncle.color == RED:
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grandparent.color = RED
+                    node = grandparent
+                else:
+                    if node is parent.right:
+                        node = parent
+                        self._rotate_left(node)
+                        parent = node.parent
+                        grandparent = parent.parent
+                    parent.color = BLACK
+                    grandparent.color = RED
+                    self._rotate_right(grandparent)
+            else:
+                uncle = grandparent.left
+                if uncle.color == RED:
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grandparent.color = RED
+                    node = grandparent
+                else:
+                    if node is parent.left:
+                        node = parent
+                        self._rotate_right(node)
+                        parent = node.parent
+                        grandparent = parent.parent
+                    parent.color = BLACK
+                    grandparent.color = RED
+                    self._rotate_left(grandparent)
+        self.root.color = BLACK
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+    def delete(self, node: IovaRange) -> None:
+        """Remove a node that is in the tree."""
+        removed_color = node.color
+        if node.left is self.nil:
+            replacement = node.right
+            self._transplant(node, node.right)
+        elif node.right is self.nil:
+            replacement = node.left
+            self._transplant(node, node.left)
+        else:
+            successor = node.right
+            while successor.left is not self.nil:
+                successor = successor.left
+            removed_color = successor.color
+            replacement = successor.right
+            if successor.parent is node:
+                replacement.parent = successor
+            else:
+                self._transplant(successor, successor.right)
+                successor.right = node.right
+                successor.right.parent = successor
+            self._transplant(node, successor)
+            successor.left = node.left
+            successor.left.parent = successor
+            successor.color = node.color
+        self.size -= 1
+        if removed_color == BLACK:
+            self._delete_fixup(replacement)
+
+    def _transplant(self, old: IovaRange, new: IovaRange) -> None:
+        if old.parent is self.nil:
+            self.root = new
+        elif old is old.parent.left:
+            old.parent.left = new
+        else:
+            old.parent.right = new
+        new.parent = old.parent
+
+    def _delete_fixup(self, node: IovaRange) -> None:
+        while node is not self.root and node.color == BLACK:
+            parent = node.parent
+            if node is parent.left:
+                sibling = parent.right
+                if sibling.color == RED:
+                    sibling.color = BLACK
+                    parent.color = RED
+                    self._rotate_left(parent)
+                    sibling = parent.right
+                if (
+                    sibling.left.color == BLACK
+                    and sibling.right.color == BLACK
+                ):
+                    sibling.color = RED
+                    node = parent
+                else:
+                    if sibling.right.color == BLACK:
+                        sibling.left.color = BLACK
+                        sibling.color = RED
+                        self._rotate_right(sibling)
+                        sibling = parent.right
+                    sibling.color = parent.color
+                    parent.color = BLACK
+                    sibling.right.color = BLACK
+                    self._rotate_left(parent)
+                    node = self.root
+            else:
+                sibling = parent.left
+                if sibling.color == RED:
+                    sibling.color = BLACK
+                    parent.color = RED
+                    self._rotate_right(parent)
+                    sibling = parent.left
+                if (
+                    sibling.right.color == BLACK
+                    and sibling.left.color == BLACK
+                ):
+                    sibling.color = RED
+                    node = parent
+                else:
+                    if sibling.left.color == BLACK:
+                        sibling.right.color = BLACK
+                        sibling.color = RED
+                        self._rotate_left(sibling)
+                        sibling = parent.left
+                    sibling.color = parent.color
+                    parent.color = BLACK
+                    sibling.left.color = BLACK
+                    self._rotate_right(parent)
+                    node = self.root
+        node.color = BLACK
+
+    # ------------------------------------------------------------------
+    # Rotations
+    # ------------------------------------------------------------------
+    def _rotate_left(self, node: IovaRange) -> None:
+        pivot = node.right
+        node.right = pivot.left
+        if pivot.left is not self.nil:
+            pivot.left.parent = node
+        pivot.parent = node.parent
+        if node.parent is self.nil:
+            self.root = pivot
+        elif node is node.parent.left:
+            node.parent.left = pivot
+        else:
+            node.parent.right = pivot
+        pivot.left = node
+        node.parent = pivot
+
+    def _rotate_right(self, node: IovaRange) -> None:
+        pivot = node.left
+        node.left = pivot.right
+        if pivot.right is not self.nil:
+            pivot.right.parent = node
+        pivot.parent = node.parent
+        if node.parent is self.nil:
+            self.root = pivot
+        elif node is node.parent.right:
+            node.parent.right = pivot
+        else:
+            node.parent.left = pivot
+        pivot.right = node
+        node.parent = pivot
+
+    # ------------------------------------------------------------------
+    # Verification (for property tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert the red-black and ordering invariants; raises on violation."""
+        if self.root.color != BLACK:
+            raise AssertionError("root must be black")
+        self._check_subtree(self.root)
+        ranges = list(self)
+        for earlier, later in zip(ranges, ranges[1:]):
+            if earlier.pfn_hi >= later.pfn_lo:
+                raise AssertionError(
+                    f"ranges overlap or are unsorted: {earlier} vs {later}"
+                )
+
+    def _check_subtree(self, node: IovaRange) -> int:
+        if node is self.nil:
+            return 1
+        if node.color == RED:
+            if node.left.color == RED or node.right.color == RED:
+                raise AssertionError("red node has red child")
+        left_height = self._check_subtree(node.left)
+        right_height = self._check_subtree(node.right)
+        if left_height != right_height:
+            raise AssertionError("black heights differ")
+        return left_height + (1 if node.color == BLACK else 0)

@@ -1,0 +1,14 @@
+"""Host memory substrate: physical frames and latency model."""
+
+from .latency import DEFAULT_L0_NS, DEFAULT_LM_NS, MemoryLatencyModel
+from .physmem import PAGE_SHIFT, PAGE_SIZE, OutOfMemoryError, PhysicalMemory
+
+__all__ = [
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PhysicalMemory",
+    "OutOfMemoryError",
+    "MemoryLatencyModel",
+    "DEFAULT_L0_NS",
+    "DEFAULT_LM_NS",
+]

@@ -1,0 +1,67 @@
+"""Memory access latency model.
+
+The paper's throughput model (§2.2) characterizes the datapath with two
+fitted constants:
+
+* ``l0`` = 65 ns — the average per-packet DMA cost in the absence of
+  memory protection (PCIe transfer, DMA engine, descriptor handling,
+  amortized over the parallelism of the DMA engine);
+* ``lm`` = 197 ns — the average IOMMU-to-memory read latency for one IO
+  page table access during a page walk (again averaged over walker
+  parallelism).
+
+We adopt those constants as the simulator's service-time parameters
+(DESIGN.md §5.1) and additionally model *contention inflation*: when the
+aggregate memory read rate approaches the channel bandwidth, per-read
+latency rises.  The paper's Cascade Lake setup has 2 DDR4 channels
+(46.9 GB/s theoretical); the Ice Lake setup has 8.  Contention matters
+for the multi-core Fig 10 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryLatencyModel", "DEFAULT_L0_NS", "DEFAULT_LM_NS"]
+
+DEFAULT_L0_NS = 65.0
+DEFAULT_LM_NS = 197.0
+
+
+@dataclass
+class MemoryLatencyModel:
+    """Computes per-read latencies with optional bandwidth contention.
+
+    Parameters
+    ----------
+    base_read_ns:
+        Uncontended IOMMU-to-memory read latency (the paper's ``lm``).
+    channel_bandwidth_gbps:
+        Aggregate memory bandwidth in GB/s; reads inflate as utilization
+        approaches it.
+    contention_exponent:
+        Shape of the inflation curve; latency multiplies by
+        ``1 / (1 - u**e)`` for utilization ``u`` (M/M/1-flavoured).
+    """
+
+    base_read_ns: float = DEFAULT_LM_NS
+    channel_bandwidth_gbps: float = 46.9
+    contention_exponent: float = 4.0
+    _window_bytes: float = 0.0
+    _window_start_ns: float = 0.0
+
+    def read_latency_ns(self, utilization: float = 0.0) -> float:
+        """Latency of one page-table read at the given utilization.
+
+        ``utilization`` is the fraction of channel bandwidth in use
+        (0 ≤ u < 1); values ≥ 1 are clamped just below saturation.
+        """
+        if utilization <= 0.0:
+            return self.base_read_ns
+        u = min(utilization, 0.99)
+        inflation = 1.0 / (1.0 - u ** self.contention_exponent)
+        return self.base_read_ns * inflation
+
+    def utilization(self, bytes_per_ns: float) -> float:
+        """Convert a byte rate (bytes/ns == GB/s) to channel utilization."""
+        return min(1.0, bytes_per_ns / self.channel_bandwidth_gbps)

@@ -1,0 +1,14 @@
+"""NIC model: descriptors, rings, input buffer, drop accounting."""
+
+from .descriptor import DEFAULT_DESCRIPTOR_PAGES, PageSlot, RxDescriptor
+from .device import Nic, NicStats
+from .ring import RxRing
+
+__all__ = [
+    "Nic",
+    "NicStats",
+    "RxRing",
+    "RxDescriptor",
+    "PageSlot",
+    "DEFAULT_DESCRIPTOR_PAGES",
+]

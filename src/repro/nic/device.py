@@ -1,0 +1,90 @@
+"""The NIC: input buffer, per-core Rx rings, drop accounting.
+
+Arriving packets enter a bounded input buffer; the DMA engine drains it
+through the PCIe/IOMMU pipeline.  When address translation inflates
+per-DMA latency, the drain rate falls below the arrival rate, the
+buffer fills, and packets are tail-dropped — the causal chain behind
+the paper's throughput/drop figures.  A second drop mode is ring
+exhaustion: a packet whose core ring has no free page slots cannot be
+DMA'd (the CPU fell behind on descriptor recycling).
+"""
+
+from __future__ import annotations
+
+from ..sim import FifoQueue
+from .ring import RxRing
+
+__all__ = ["Nic", "NicStats"]
+
+
+class NicStats:
+    """Drop and arrival counters for one NIC."""
+
+    __slots__ = (
+        "arrived_packets",
+        "arrived_bytes",
+        "buffer_drops",
+        "ring_drops",
+        "dma_packets",
+        "dma_bytes",
+    )
+
+    def __init__(self) -> None:
+        self.arrived_packets = 0
+        self.arrived_bytes = 0
+        self.buffer_drops = 0
+        self.ring_drops = 0
+        self.dma_packets = 0
+        self.dma_bytes = 0
+
+    @property
+    def total_drops(self) -> int:
+        return self.buffer_drops + self.ring_drops
+
+    @property
+    def drop_fraction(self) -> float:
+        if self.arrived_packets == 0:
+            return 0.0
+        return self.total_drops / self.arrived_packets
+
+
+class Nic:
+    """Receive side of the measured host's NIC."""
+
+    def __init__(self, num_cores: int, buffer_bytes: int = 1 << 20) -> None:
+        if num_cores <= 0:
+            raise ValueError("need at least one core")
+        self.rings = [RxRing(core) for core in range(num_cores)]
+        self.input_buffer = FifoQueue(buffer_bytes)
+        self.stats = NicStats()
+
+    def ring_for_flow(self, flow_id: int) -> RxRing:
+        """aRFS steering: a flow always lands on the same core's ring."""
+        return self.rings[flow_id % len(self.rings)]
+
+    def offer(self, packet, pages_needed: int) -> bool:
+        """Accept an arriving packet into the input buffer.
+
+        Returns ``False`` (and counts the drop) when the buffer is full
+        or the target ring has no free pages for it.
+        """
+        self.stats.arrived_packets += 1
+        self.stats.arrived_bytes += packet.size_bytes
+        ring = self.ring_for_flow(packet.flow_id)
+        if ring.free_pages < pages_needed:
+            self.stats.ring_drops += 1
+            return False
+        if not self.input_buffer.try_enqueue(packet, packet.size_bytes):
+            self.stats.buffer_drops += 1
+            return False
+        return True
+
+    def next_packet(self):
+        """Pop the next buffered packet for the DMA engine."""
+        entry = self.input_buffer.dequeue()
+        if entry is None:
+            return None
+        packet, _size = entry
+        self.stats.dma_packets += 1
+        self.stats.dma_bytes += packet.size_bytes
+        return packet

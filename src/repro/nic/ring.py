@@ -1,0 +1,70 @@
+"""The per-core Rx ring: an ordered set of descriptors.
+
+The driver posts descriptors; the NIC consumes page slots in order as
+packets arrive (aRFS steers each flow to one core's ring, so a ring's
+slots are consumed by that core's flows only).  When the head
+descriptor's pages are all consumed and written, it is *complete*: the
+host pops it, the protection driver unmaps/invalidates/frees it, and a
+fresh descriptor is posted — keeping the posted-descriptor count (the
+ring size) constant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .descriptor import PageSlot, RxDescriptor
+
+__all__ = ["RxRing"]
+
+
+class RxRing:
+    """Ordered descriptors for one core."""
+
+    def __init__(self, core: int) -> None:
+        self.core = core
+        self._descriptors: deque[RxDescriptor] = deque()
+        self.posted_descriptors = 0
+        self.completed_descriptors = 0
+
+    def post(self, descriptor: RxDescriptor) -> None:
+        self._descriptors.append(descriptor)
+        self.posted_descriptors += 1
+
+    @property
+    def free_pages(self) -> int:
+        """Unconsumed page slots across all posted descriptors."""
+        return sum(d.free_pages for d in self._descriptors)
+
+    @property
+    def descriptor_count(self) -> int:
+        return len(self._descriptors)
+
+    def take_pages(self, count: int) -> list[tuple[RxDescriptor, PageSlot]]:
+        """Consume ``count`` page slots in order (may span descriptors).
+
+        Raises ``RuntimeError`` if the ring has fewer free pages; the
+        caller must check :attr:`free_pages` first (and drop the packet
+        if the ring is empty — the "ring exhaustion" drop mode).
+        """
+        if count > self.free_pages:
+            raise RuntimeError("ring has too few free pages")
+        taken: list[tuple[RxDescriptor, PageSlot]] = []
+        for descriptor in self._descriptors:
+            while not descriptor.is_exhausted and len(taken) < count:
+                taken.append((descriptor, descriptor.take_page()))
+            if len(taken) == count:
+                break
+        return taken
+
+    def pop_completed(self) -> list[RxDescriptor]:
+        """Remove and return all leading complete descriptors."""
+        completed = []
+        while self._descriptors and self._descriptors[0].is_complete:
+            completed.append(self._descriptors.popleft())
+            self.completed_descriptors += 1
+        return completed
+
+    def head(self) -> Optional[RxDescriptor]:
+        return self._descriptors[0] if self._descriptors else None

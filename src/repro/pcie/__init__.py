@@ -1,0 +1,5 @@
+"""PCIe link and DMA pipeline models."""
+
+from .link import DmaPipeline, PcieConfig
+
+__all__ = ["DmaPipeline", "PcieConfig"]

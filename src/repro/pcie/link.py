@@ -1,0 +1,132 @@
+"""The PCIe/DMA pipeline between the NIC and host memory.
+
+Each direction of PCIe is modeled as a :class:`DmaPipeline`:
+
+* a small number of *lanes* — concurrent DMAs in flight.  The Rx
+  (write) direction uses one lane: the ~100 cachelines of buffering at
+  the processor-side end of PCIe let writes pipeline within one DMA but
+  not deeply across DMAs, which is why per-DMA latency directly caps Rx
+  throughput (paper §1's Little's-law argument).  The Tx (read)
+  direction uses more lanes because PCIe read transactions tolerate
+  much larger per-transaction latency before the link underutilizes
+  [Vuppalapati et al. 2024] — the asymmetry Fig 10 shows.
+
+* a shared wire serializer at the link rate (128 Gbps for the paper's
+  PCIe 3.0 x16), so aggregate throughput never exceeds the link even
+  with several lanes.
+
+A DMA's service time is computed *when it starts* via a caller-supplied
+``begin`` callback: the callback performs the IOTLB/PTcache probes at
+the correct simulated instant (so invalidations by other traffic
+interleave faithfully), reserves page-walk time on the shared walker,
+and returns the completion time — typically
+``max(wire_done, walk_done + l0)`` with the paper's fitted l0 = 65 ns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..mem.latency import DEFAULT_L0_NS
+from ..sim import Simulator
+
+__all__ = ["DmaPipeline", "PcieConfig"]
+
+
+@dataclass
+class PcieConfig:
+    """Link and DMA-engine parameters."""
+
+    gbps: float = 128.0  # PCIe 3.0 x16 effective
+    max_payload_bytes: int = 256  # MaxPayloadSize: TLP splitting granule
+    l0_ns: float = DEFAULT_L0_NS  # per-DMA base latency (paper's fit)
+    rx_lanes: int = 1
+    tx_lanes: int = 4
+
+    def wire_ns(self, size_bytes: int) -> float:
+        """Serialization time of ``size_bytes`` on the link."""
+        return size_bytes * 8 / self.gbps
+
+    def transactions(self, size_bytes: int) -> int:
+        """PCIe transactions (TLPs) for one DMA of ``size_bytes``."""
+        if size_bytes <= 0:
+            return 0
+        return -(-size_bytes // self.max_payload_bytes)
+
+
+# ``begin`` receives the DMA's start time and returns its completion
+# time; ``finish`` runs at completion.
+BeginFn = Callable[[float], float]
+FinishFn = Callable[[], None]
+
+
+class DmaPipeline:
+    """Lane-limited, wire-serialized DMA pipeline for one direction."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: PcieConfig,
+        lanes: int,
+    ) -> None:
+        if lanes <= 0:
+            raise ValueError("need at least one lane")
+        self.sim = sim
+        self.config = config
+        self.lanes = lanes
+        self._busy = 0
+        self._pending: deque[tuple[int, BeginFn, FinishFn]] = deque()
+        self._wire_busy_until = 0.0
+        self.completed_dmas = 0
+        self.completed_bytes = 0
+        self.busy_ns = 0.0  # lane-occupancy integral for utilization
+
+    # ------------------------------------------------------------------
+    def submit(self, size_bytes: int, begin: BeginFn, finish: FinishFn) -> None:
+        """Queue one DMA; it starts when a lane frees up."""
+        if self._busy < self.lanes:
+            self._start(size_bytes, begin, finish)
+        else:
+            self._pending.append((size_bytes, begin, finish))
+
+    def reserve_wire(self, start: float, size_bytes: int) -> float:
+        """Serialize ``size_bytes`` on the shared wire from ``start``.
+
+        Returns the time the last byte crosses.  ``begin`` callbacks use
+        this so that concurrent lanes cannot exceed the link rate.
+        """
+        wire_start = max(start, self._wire_busy_until)
+        wire_done = wire_start + self.config.wire_ns(size_bytes)
+        self._wire_busy_until = wire_done
+        return wire_done
+
+    # ------------------------------------------------------------------
+    def _start(self, size_bytes: int, begin: BeginFn, finish: FinishFn) -> None:
+        self._busy += 1
+        start = self.sim.now
+        completion = begin(start)
+        if completion < start:
+            raise ValueError("begin() returned a completion in the past")
+        self.busy_ns += completion - start
+        self.sim.call_at(
+            completion, lambda s=size_bytes, f=finish: self._complete(s, f)
+        )
+
+    def _complete(self, size_bytes: int, finish: FinishFn) -> None:
+        self._busy -= 1
+        self.completed_dmas += 1
+        self.completed_bytes += size_bytes
+        finish()
+        while self._pending and self._busy < self.lanes:
+            next_size, next_begin, next_finish = self._pending.popleft()
+            self._start(next_size, next_begin, next_finish)
+
+    @property
+    def queued(self) -> int:
+        return len(self._pending)
+
+    @property
+    def inflight(self) -> int:
+        return self._busy

@@ -1,0 +1,15 @@
+"""Protection drivers: IOMMU-off, Linux strict/deferred, F&S + ablations."""
+
+from .base import DriverCosts, ProtectionDriver, TxMapping
+from .deferred import DeferredDriver
+from .passthrough import PassthroughDriver
+from .strict import StrictFamilyDriver
+
+__all__ = [
+    "ProtectionDriver",
+    "TxMapping",
+    "DriverCosts",
+    "PassthroughDriver",
+    "StrictFamilyDriver",
+    "DeferredDriver",
+]

@@ -1,0 +1,91 @@
+"""Protection-driver interface.
+
+A protection driver is the OS-side policy layer between the NIC driver
+and the IOMMU: it decides how IOVAs are allocated, how pages are mapped
+and unmapped, and what gets invalidated when.  The four safety modes of
+the paper are four drivers behind one interface:
+
+* :class:`~repro.protection.passthrough.PassthroughDriver` — IOMMU off;
+* :class:`~repro.protection.strict.StrictFamilyDriver` — Linux strict
+  mode, with F&S's three ideas as independent flags (giving Linux
+  strict, F&S, and the Fig 12 ablation points Linux+A / Linux+B);
+* :class:`~repro.protection.deferred.DeferredDriver` — Linux deferred
+  mode (weaker safety, shown by the safety tests to admit stale
+  accesses).
+
+All mutating methods return the **CPU cost in ns** they impose on the
+calling core (allocator ops, map/unmap, invalidation-queue waits); the
+host model charges this to the core's budget, which is how per-core
+throughput effects (Fig 8a's CPU-bound gap, batched invalidation's CPU
+saving) appear.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..nic.descriptor import RxDescriptor
+
+__all__ = ["ProtectionDriver", "TxMapping", "DriverCosts"]
+
+
+@dataclass(frozen=True)
+class TxMapping:
+    """One mapped Tx page (a socket buffer handed to the NIC)."""
+
+    iova: int
+    frame: int
+    cookie: Any = None  # driver-private (e.g. the F&S chunk)
+
+
+@dataclass
+class DriverCosts:
+    """CPU cost constants for protection operations (ns per op).
+
+    Values follow the magnitudes reported for Linux dma_map/unmap and
+    queued-invalidation waits [Peleg et al. 2015; Malka et al. 2015].
+    """
+
+    map_ns: float = 120.0
+    unmap_ns: float = 150.0
+
+
+class ProtectionDriver(ABC):
+    """OS policy for IO memory protection (one instance per host)."""
+
+    #: short mode name used in experiment tables
+    name: str = "base"
+    #: whether the mode upholds the strict safety property
+    strict_safety: bool = False
+
+    @abstractmethod
+    def make_rx_descriptor(
+        self, core: int, pages: int
+    ) -> tuple[RxDescriptor, float]:
+        """Build and map a fresh Rx descriptor; returns (desc, cpu_ns)."""
+
+    @abstractmethod
+    def retire_rx_descriptor(self, descriptor: RxDescriptor, core: int) -> float:
+        """Unmap/invalidate/free a consumed descriptor; returns cpu_ns."""
+
+    @abstractmethod
+    def map_tx_page(self, core: int) -> tuple[TxMapping, float]:
+        """Map one Tx socket-buffer page; returns (mapping, cpu_ns)."""
+
+    @abstractmethod
+    def retire_tx_pages(self, mappings: list[TxMapping], core: int) -> float:
+        """Unmap/invalidate/free completed Tx pages; returns cpu_ns."""
+
+    @abstractmethod
+    def translate(self, iova: int, source: str) -> int:
+        """Translate one PCIe transaction; returns page-walk memory reads."""
+
+    def device_can_access(self, iova: int) -> bool:
+        """Whether the device could still reach ``iova`` right now.
+
+        Used by the safety property tests: for strict modes this must
+        be ``False`` immediately after the retire call returns.
+        """
+        return False

@@ -1,0 +1,132 @@
+"""The Linux deferred ("lazy") protection mode.
+
+Deferred mode unmaps IOVAs from the page table immediately but *defers*
+all cache invalidation: unmapped IOVAs accumulate until a threshold
+(Linux: 250 pending ranges or a 10 ms timer), then a single global
+IOTLB + PTcache flush retires the batch and the IOVAs are finally freed
+for reuse.
+
+The performance upside is fewer invalidation stalls; the safety
+downside — which :meth:`device_can_access` and the safety test suite
+expose — is that for the whole deferral window a malicious or buggy
+device can keep using the stale IOTLB entry for an unmapped (and
+possibly reallocated) page.  This is the weaker property the paper's
+related work targets and F&S refuses to accept.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..iommu import Iommu
+from ..iommu.addr import PAGE_SIZE
+from ..iova.caching import CachingIovaAllocator
+from ..mem.physmem import PhysicalMemory
+from ..nic.descriptor import PageSlot, RxDescriptor
+from .base import DriverCosts, ProtectionDriver, TxMapping
+
+__all__ = ["DeferredDriver"]
+
+
+class DeferredDriver(ProtectionDriver):
+    """Linux deferred mode: batched global flushes, stale-entry window."""
+
+    name = "linux-deferred"
+    strict_safety = False
+
+    def __init__(
+        self,
+        iommu: Iommu,
+        physmem: PhysicalMemory,
+        num_cpus: int,
+        flush_threshold: int = 250,
+        costs: Optional[DriverCosts] = None,
+        allocation_trace: Optional[list[tuple[int, int]]] = None,
+    ) -> None:
+        self.iommu = iommu
+        self.physmem = physmem
+        self.costs = costs or DriverCosts()
+        self.flush_threshold = flush_threshold
+        self.allocator = CachingIovaAllocator(
+            num_cpus=num_cpus, trace=allocation_trace
+        )
+        # IOVAs unmapped but not yet flushed: (iova, pages, core).
+        self._deferred: list[tuple[int, int, int]] = []
+        self.flushes = 0
+        # Make the IOMMU detect stale-entry use so experiments can
+        # report the safety violations this mode admits.
+        self.iommu.config.check_stale_hits = True
+        self.stale_translations = 0
+
+    # ------------------------------------------------------------------
+    def make_rx_descriptor(self, core: int, pages: int):
+        cost = 0.0
+        slots = []
+        for _ in range(pages):
+            frame = self.physmem.alloc_frame()
+            iova = self.allocator.alloc(1, cpu=core)
+            self.iommu.map_page(iova, frame)
+            slots.append(PageSlot(iova=iova, frame=frame))
+        cost += pages * self.costs.map_ns
+        return RxDescriptor(slots=slots, core=core), cost
+
+    def retire_rx_descriptor(self, descriptor: RxDescriptor, core: int) -> float:
+        cost = 0.0
+        for slot in descriptor.slots:
+            self.iommu.unmap_range(slot.iova, PAGE_SIZE)
+            cost += self.costs.unmap_ns
+            self._defer(slot.iova, 1, core)
+            self.physmem.free_frame(slot.frame)
+        cost += self._maybe_flush()
+        return cost
+
+    def map_tx_page(self, core: int):
+        frame = self.physmem.alloc_frame()
+        iova = self.allocator.alloc(1, cpu=core)
+        self.iommu.map_page(iova, frame)
+        return TxMapping(iova=iova, frame=frame), self.costs.map_ns
+
+    def retire_tx_pages(self, mappings, core: int) -> float:
+        cost = 0.0
+        for mapping in mappings:
+            self.iommu.unmap_range(mapping.iova, PAGE_SIZE)
+            cost += self.costs.unmap_ns
+            self._defer(mapping.iova, 1, core)
+            self.physmem.free_frame(mapping.frame)
+        cost += self._maybe_flush()
+        return cost
+
+    # ------------------------------------------------------------------
+    def _defer(self, iova: int, pages: int, core: int) -> None:
+        # The IOVA is NOT freed yet: reuse before the flush would hand
+        # a live stale translation to a different buffer.
+        self._deferred.append((iova, pages, core))
+
+    def _maybe_flush(self) -> float:
+        if len(self._deferred) < self.flush_threshold:
+            return 0.0
+        return self.flush()
+
+    def flush(self) -> float:
+        """Global invalidation; frees all deferred IOVAs."""
+        cost = self.iommu.invalidation_queue.flush_all()
+        for iova, pages, core in self._deferred:
+            self.allocator.free(iova, pages, cpu=core)
+        self._deferred.clear()
+        self.flushes += 1
+        return cost
+
+    # ------------------------------------------------------------------
+    def translate(self, iova: int, source: str) -> int:
+        result = self.iommu.translate(iova, source)
+        if result.stale:
+            self.stale_translations += 1
+        return result.memory_reads
+
+    def device_can_access(self, iova: int) -> bool:
+        # The stale IOTLB entry keeps the door open until the flush.
+        return self.iommu.iotlb.contains(iova) or self.iommu.page_table.is_mapped(iova)
+
+    @property
+    def pending_invalidations(self) -> int:
+        return len(self._deferred)

@@ -1,0 +1,53 @@
+"""IOMMU-off baseline: the device uses physical addresses directly.
+
+No translation, no protection: the paper's "IOMMU disabled" line.  The
+device can access *all* of physical memory at all times, which
+:meth:`device_can_access` reports honestly — this is the unsafe
+configuration everything else is compared against.
+"""
+
+from __future__ import annotations
+
+from ..mem.physmem import PAGE_SHIFT, PhysicalMemory
+from ..nic.descriptor import PageSlot, RxDescriptor
+from .base import ProtectionDriver, TxMapping
+
+__all__ = ["PassthroughDriver"]
+
+
+class PassthroughDriver(ProtectionDriver):
+    """No IOMMU: DMA addresses are physical addresses."""
+
+    name = "iommu-off"
+    strict_safety = False
+
+    def __init__(self, physmem: PhysicalMemory) -> None:
+        self.physmem = physmem
+
+    def make_rx_descriptor(self, core: int, pages: int):
+        slots = []
+        for _ in range(pages):
+            frame = self.physmem.alloc_frame()
+            slots.append(PageSlot(iova=frame << PAGE_SHIFT, frame=frame))
+        return RxDescriptor(slots=slots, core=core), 0.0
+
+    def retire_rx_descriptor(self, descriptor: RxDescriptor, core: int) -> float:
+        for slot in descriptor.slots:
+            self.physmem.free_frame(slot.frame)
+        return 0.0
+
+    def map_tx_page(self, core: int):
+        frame = self.physmem.alloc_frame()
+        return TxMapping(iova=frame << PAGE_SHIFT, frame=frame), 0.0
+
+    def retire_tx_pages(self, mappings, core: int) -> float:
+        for mapping in mappings:
+            self.physmem.free_frame(mapping.frame)
+        return 0.0
+
+    def translate(self, iova: int, source: str) -> int:
+        return 0
+
+    def device_can_access(self, iova: int) -> bool:
+        # Without an IOMMU the device can always reach host memory.
+        return True

@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate.
+
+Exports the engine (:class:`Simulator`), process primitives
+(:class:`Process`, :class:`Timeout`, :class:`Signal`), shared resources
+(:class:`FifoQueue`, :class:`WindowedPipeline`, :class:`TokenBucketPacer`)
+and deterministic RNG (:class:`SeededRng`).
+"""
+
+from .engine import Event, SimulationError, Simulator
+from .process import Process, Signal, Timeout
+from .resources import FifoQueue, TokenBucketPacer, WindowedPipeline
+from .rng import SeededRng
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "SimulationError",
+    "Process",
+    "Timeout",
+    "Signal",
+    "FifoQueue",
+    "WindowedPipeline",
+    "TokenBucketPacer",
+    "SeededRng",
+]

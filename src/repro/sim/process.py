@@ -1,0 +1,140 @@
+"""Generator-based processes on top of the event engine.
+
+A *process* is a Python generator that yields simulation primitives:
+
+* ``Timeout(delay)`` — sleep for ``delay`` ns;
+* ``Signal`` objects — wait until another process fires the signal;
+* another ``Process`` — wait for that process to finish (join).
+
+This mirrors the coroutine style of SimPy while staying dependency-free
+and fast enough for the packet-level experiments in the benchmark suite.
+
+Example::
+
+    def worker(sim):
+        yield Timeout(100.0)
+        print("worked at", sim.now)
+
+    sim = Simulator()
+    Process(sim, worker(sim))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .engine import SimulationError, Simulator
+
+__all__ = ["Timeout", "Signal", "Process"]
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` nanoseconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Timeout({self.delay})"
+
+
+class Signal:
+    """A one-to-many wakeup primitive.
+
+    Processes that yield a signal are suspended until :meth:`fire` is
+    called; the fired value is delivered as the result of the ``yield``.
+    A signal can be fired many times; each firing wakes the waiters that
+    were queued at that moment.
+    """
+
+    __slots__ = ("_sim", "_waiters")
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._waiters: list["Process"] = []
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters, passing them ``value``.
+
+        Returns the number of processes woken.  Wakeups are scheduled as
+        zero-delay events so the firing process continues first —
+        avoiding reentrant generator resumption.
+        """
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim.call_after(0.0, lambda p=process: p._resume(value))
+        return len(waiters)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    @property
+    def waiting(self) -> int:
+        """Number of processes currently blocked on this signal."""
+        return len(self._waiters)
+
+
+class Process:
+    """Drives a generator coroutine inside a :class:`Simulator`.
+
+    The process starts at the current simulation time (via a zero-delay
+    event).  Other processes can ``yield`` a process object to join it;
+    the joined value is the generator's return value.
+    """
+
+    __slots__ = ("sim", "_gen", "finished", "value", "_joiners")
+
+    def __init__(self, sim: Simulator, generator: Generator[Any, Any, Any]):
+        self.sim = sim
+        self._gen = generator
+        self.finished = False
+        self.value: Any = None
+        self._joiners: list["Process"] = []
+        sim.call_after(0.0, lambda: self._resume(None))
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self.sim.call_after(yielded.delay, lambda: self._resume(None))
+        elif isinstance(yielded, Signal):
+            yielded._add_waiter(self)
+        elif isinstance(yielded, Process):
+            if yielded.finished:
+                self.sim.call_after(0.0, lambda: self._resume(yielded.value))
+            else:
+                yielded._joiners.append(self)
+        else:
+            raise SimulationError(
+                f"process yielded unsupported object {yielded!r}"
+            )
+
+    def _finish(self, value: Any) -> None:
+        self.finished = True
+        self.value = value
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            self.sim.call_after(0.0, lambda j=joiner: j._resume(value))
+
+    def interrupt(self) -> None:
+        """Terminate the process; joiners are woken with ``None``."""
+        if not self.finished:
+            self._gen.close()
+            self._finish(None)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "finished" if self.finished else "running"
+        return f"<Process {state}>"

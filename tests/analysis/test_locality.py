@@ -1,0 +1,97 @@
+"""Unit tests for the PTcache-L3 reuse-distance analysis."""
+
+import pytest
+
+from repro.analysis import (
+    INFINITE,
+    l3_key_stream,
+    reuse_distances,
+    summarize_locality,
+)
+from repro.iommu.addr import PAGE_SIZE, PTL4_PAGE_SIZE
+
+
+class TestKeyStream:
+    def test_pages_in_same_region_share_key(self):
+        trace = [(0, 1), (PAGE_SIZE, 1)]
+        keys = l3_key_stream(trace)
+        assert keys[0] == keys[1]
+
+    def test_chunk_expansion(self):
+        trace = [(0, 3)]
+        assert len(l3_key_stream(trace)) == 3
+
+    def test_region_boundary_changes_key(self):
+        trace = [(PTL4_PAGE_SIZE - PAGE_SIZE, 2)]
+        keys = l3_key_stream(trace)
+        assert keys[0] != keys[1]
+
+
+class TestReuseDistances:
+    def test_first_access_is_cold(self):
+        assert reuse_distances([1]) == [INFINITE]
+
+    def test_immediate_reuse_distance_zero(self):
+        assert reuse_distances([1, 1]) == [INFINITE, 0]
+
+    def test_classic_stack_distance(self):
+        # a b c a : 'a' reused after 2 distinct other keys.
+        distances = reuse_distances(["a", "b", "c", "a"])
+        assert distances == [INFINITE, INFINITE, INFINITE, 2]
+
+    def test_duplicates_between_count_once(self):
+        # a b b a : only one distinct key between the two a's.
+        distances = reuse_distances(["a", "b", "b", "a"])
+        assert distances[-1] == 1
+
+    def test_interleaved_pattern(self):
+        distances = reuse_distances(["a", "b", "a", "b"])
+        assert distances == [INFINITE, INFINITE, 1, 1]
+
+    def test_matches_naive_computation(self):
+        import random
+
+        rng = random.Random(3)
+        keys = [rng.randint(0, 20) for _ in range(300)]
+        fast = reuse_distances(keys)
+        # Naive O(n^2) reference.
+        for position, key in enumerate(keys):
+            previous = None
+            for back in range(position - 1, -1, -1):
+                if keys[back] == key:
+                    previous = back
+                    break
+            if previous is None:
+                assert fast[position] == INFINITE
+            else:
+                distinct = len(set(keys[previous + 1 : position]))
+                assert fast[position] == distinct
+
+
+class TestSummary:
+    def test_sequential_chunk_trace_is_perfectly_local(self):
+        # Like F&S: 64-page chunks, each fully inside <= 2 regions.
+        trace = [(i * 64 * PAGE_SIZE, 64) for i in range(10)]
+        summary = summarize_locality(trace)
+        assert summary.mean_distance < 0.5
+        assert summary.fraction_above_64 == 0.0
+
+    def test_scattered_trace_exceeds_cache_size(self):
+        # 100 regions round-robin: every reuse sees 99 distinct keys.
+        trace = []
+        for repeat in range(3):
+            for region in range(100):
+                trace.append((region * PTL4_PAGE_SIZE, 1))
+        summary = summarize_locality(trace)
+        assert summary.fraction_above_64 > 0.5
+        assert summary.max_distance == 99
+
+    def test_empty_trace(self):
+        summary = summarize_locality([])
+        assert summary.accesses == 0
+        assert summary.mean_distance == 0.0
+
+    def test_cold_accesses_counted(self):
+        trace = [(i * PTL4_PAGE_SIZE, 1) for i in range(5)]
+        summary = summarize_locality(trace)
+        assert summary.cold_accesses == 5

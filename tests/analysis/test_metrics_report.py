@@ -1,0 +1,74 @@
+"""Unit tests for percentile utilities and table formatting."""
+
+import pytest
+
+from repro.analysis import (
+    LatencyRecorder,
+    format_figure,
+    format_table,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_p100_is_max(self):
+        assert percentile([5, 9, 1], 100) == 9
+
+    def test_small_p_is_min(self):
+        assert percentile([5, 9, 1], 1) == 1
+
+    def test_nearest_rank_p99(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 99) == 99
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 0)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestLatencyRecorder:
+    def test_records_and_reports(self):
+        recorder = LatencyRecorder()
+        for value in (10.0, 20.0, 30.0):
+            recorder.record(value)
+        assert len(recorder) == 3
+        assert recorder.mean == 20.0
+        assert recorder.percentiles((50.0,)) == {50.0: 20.0}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1.0)
+
+    def test_mean_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            _ = LatencyRecorder().mean
+
+
+class TestTables:
+    def test_columns_aligned(self):
+        table = format_table(["mode", "gbps"], [["off", 100.0], ["strict", 79.5]])
+        lines = table.splitlines()
+        assert lines[0].startswith("mode")
+        assert len(lines) == 4
+        # All lines equal width per column: header width respected.
+        assert "off" in lines[2] and "strict" in lines[3]
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.1234], [123.456], [0.0]])
+        assert "0.123" in table
+        assert "123" in table
+        assert "\n0" in table  # zero shown bare
+
+    def test_figure_block_has_title_and_notes(self):
+        block = format_figure("Fig X", ["a"], [[1]], notes="hello")
+        assert "== Fig X ==" in block
+        assert "hello" in block

@@ -1,0 +1,124 @@
+"""Unit and integration tests for the request/response app engine."""
+
+import pytest
+
+from repro.apps import segments_for
+from repro.apps.base import RequestResponseApp
+from repro.host import HostConfig, Testbed
+
+
+class TestSegmentation:
+    def test_small_message_single_segment(self):
+        assert segments_for(128, 4096) == (1, 128)
+
+    def test_exact_mtu(self):
+        assert segments_for(4096, 4096) == (1, 4096)
+
+    def test_large_message_splits(self):
+        assert segments_for(32768, 4096) == (8, 4096)
+
+    def test_non_multiple_rounds_up(self):
+        count, size = segments_for(9001, 9000)
+        assert count == 2 and size == 9000
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            segments_for(0, 4096)
+
+
+def build_app(initiator, mode="off", **kwargs):
+    config = HostConfig.cascade_lake(mode=mode, num_cores=2)
+    testbed = Testbed(config)
+    defaults = dict(
+        request_bytes=4096,
+        response_bytes=4096,
+        pipeline_depth=1,
+        connections=1,
+    )
+    defaults.update(kwargs)
+    app = RequestResponseApp(testbed, initiator=initiator, **defaults)
+    return testbed, app
+
+
+class TestRemoteInitiated:
+    def test_transactions_complete(self):
+        testbed, app = build_app("remote", record_latency=True)
+        testbed.sim.run(until=5e6)
+        assert app.stats.requests_completed > 10
+        assert len(app.latency) == app.stats.requests_completed
+
+    def test_bulk_bytes_counted_at_host(self):
+        testbed, app = build_app("remote", request_bytes=8192)
+        testbed.sim.run(until=5e6)
+        assert (
+            app.stats.bulk_bytes_delivered
+            >= app.stats.requests_completed * 8192
+        )
+
+    def test_pipelining_increases_throughput(self):
+        _, shallow = build_app("remote")
+        shallow_tb = shallow  # naming
+        testbed1, app1 = build_app("remote", pipeline_depth=1)
+        testbed8, app8 = build_app("remote", pipeline_depth=8)
+        testbed1.sim.run(until=5e6)
+        testbed8.sim.run(until=5e6)
+        assert app8.stats.requests_completed > app1.stats.requests_completed
+
+    def test_latency_recorded_in_order(self):
+        testbed, app = build_app("remote", record_latency=True)
+        testbed.sim.run(until=3e6)
+        assert all(sample > 0 for sample in app.latency.samples)
+
+
+class TestHostInitiated:
+    def test_transactions_complete(self):
+        testbed, app = build_app("host", response_bytes=32768)
+        testbed.sim.run(until=5e6)
+        assert app.stats.requests_completed > 5
+
+    def test_host_app_cost_limits_rate(self):
+        fast_tb, fast = build_app("host")
+        slow_tb, slow = build_app(
+            "host", host_app_cost_ns=lambda b: 500_000.0
+        )
+        fast_tb.sim.run(until=5e6)
+        slow_tb.sim.run(until=5e6)
+        assert slow.stats.requests_completed < fast.stats.requests_completed
+        # ~1 request per 0.5 ms per connection when app-bound.
+        assert slow.stats.requests_completed <= 12
+
+
+class TestWiring:
+    def test_one_app_per_testbed(self):
+        testbed, _app = build_app("remote")
+        with pytest.raises(RuntimeError):
+            RequestResponseApp(
+                testbed,
+                initiator="remote",
+                request_bytes=4096,
+                response_bytes=64,
+            )
+
+    def test_invalid_initiator(self):
+        config = HostConfig.cascade_lake(mode="off", num_cores=2)
+        testbed = Testbed(config)
+        with pytest.raises(ValueError):
+            RequestResponseApp(
+                testbed,
+                initiator="sideways",
+                request_bytes=1,
+                response_bytes=1,
+            )
+
+    def test_connections_spread_over_cores(self):
+        config = HostConfig.cascade_lake(mode="off", num_cores=4)
+        testbed = Testbed(config)
+        app = RequestResponseApp(
+            testbed,
+            initiator="remote",
+            request_bytes=4096,
+            response_bytes=64,
+            connections=8,
+        )
+        cores = {connection.core for connection in app.connections}
+        assert cores == {0, 1, 2, 3}

@@ -1,0 +1,63 @@
+"""Tests for the experiment runners and FigureResult plumbing."""
+
+import pytest
+
+from repro.experiments import FigureResult, RunScale, fig2_flows, fig12_ablation
+
+MICRO = RunScale(
+    name="micro",
+    warmup_ns=1_000_000.0,
+    measure_ns=2_000_000.0,
+    latency_measure_ns=4_000_000.0,
+)
+
+
+class TestFigureResult:
+    def make(self):
+        result = FigureResult("Fig X", "title", ["mode", "x", "gbps"])
+        result.rows = [["off", 5, 100.0], ["off", 10, 99.0], ["fns", 5, 98.0]]
+        return result
+
+    def test_series_filters_by_mode(self):
+        assert len(self.make().series("off")) == 2
+
+    def test_row_lookup(self):
+        assert self.make().row("fns", 5)[2] == 98.0
+
+    def test_missing_row_raises(self):
+        with pytest.raises(KeyError):
+            self.make().row("strict", 5)
+
+    def test_format_contains_headers_and_rows(self):
+        text = self.make().format()
+        assert "Fig X" in text
+        assert "gbps" in text
+        assert "fns" in text
+
+
+class TestRunners:
+    def test_fig2_micro_run_has_expected_structure(self):
+        result = fig2_flows(modes=("off", "strict"), flows=(5,), scale=MICRO)
+        assert len(result.rows) == 2
+        off = result.row("off", 5)
+        strict = result.row("strict", 5)
+        # Columns: mode, flows, gbps, drop%, iotlb, m1, m2, m3, M, tx,...
+        assert off[2] > 50.0
+        assert strict[4] >= 1.0  # compulsory miss floor
+        assert (5 in {row[1] for row in result.rows})
+        assert result.raw[("strict", 5)].rx_data_pages > 0
+
+    def test_fig12_micro_orders_modes(self):
+        result = fig12_ablation(
+            modes=("strict", "fns"), value_bytes=8192, scale=MICRO
+        )
+        gbps = {row[0]: row[2] for row in result.rows}
+        assert gbps["fns"] > gbps["strict"]
+
+
+class TestRunScale:
+    def test_presets_are_ordered(self):
+        from repro.experiments import FULL, QUICK
+
+        assert QUICK.measure_ns < FULL.measure_ns
+        assert QUICK.latency_measure_ns < FULL.latency_measure_ns

@@ -1,0 +1,71 @@
+"""Unit tests for per-core CPU accounting."""
+
+import pytest
+
+from repro.host import CoreSet
+from repro.sim import Simulator
+
+
+def test_task_completion_after_cost():
+    sim = Simulator()
+    cores = CoreSet(sim, 2)
+    done = []
+    cores.run(0, 100.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [100.0]
+
+
+def test_tasks_serialize_per_core():
+    sim = Simulator()
+    cores = CoreSet(sim, 2)
+    done = []
+    cores.run(0, 100.0, lambda: done.append(("a", sim.now)))
+    cores.run(0, 50.0, lambda: done.append(("b", sim.now)))
+    sim.run()
+    assert done == [("a", 100.0), ("b", 150.0)]
+
+
+def test_cores_are_independent():
+    sim = Simulator()
+    cores = CoreSet(sim, 2)
+    done = []
+    cores.run(0, 100.0, lambda: done.append(0))
+    cores.run(1, 10.0, lambda: done.append(1))
+    sim.run()
+    assert done == [1, 0]
+
+
+def test_charge_without_callback():
+    sim = Simulator()
+    cores = CoreSet(sim, 1)
+    finish = cores.charge(0, 500.0)
+    assert finish == 500.0
+    assert cores.backlog_ns(0) == 500.0
+
+
+def test_utilization():
+    sim = Simulator()
+    cores = CoreSet(sim, 2)
+    cores.charge(0, 400.0)
+    assert cores.utilization(0, 1000.0) == pytest.approx(0.4)
+    assert cores.utilization(1, 1000.0) == 0.0
+    assert cores.max_utilization(1000.0) == pytest.approx(0.4)
+
+
+def test_idle_gap_not_counted_busy():
+    sim = Simulator()
+    cores = CoreSet(sim, 1)
+    cores.run(0, 100.0, lambda: None)
+    sim.run()
+    sim.call_after(1000.0, lambda: cores.charge(0, 100.0))
+    sim.run()
+    assert cores.busy_ns[0] == 200.0
+
+
+def test_invalid_core_rejected():
+    sim = Simulator()
+    cores = CoreSet(sim, 1)
+    with pytest.raises(ValueError):
+        cores.run(1, 1.0, lambda: None)
+    with pytest.raises(ValueError):
+        cores.run(0, -1.0, lambda: None)

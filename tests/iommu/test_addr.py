@@ -1,0 +1,60 @@
+"""Unit tests for IOVA address arithmetic."""
+
+from repro.iommu import addr
+
+
+def test_page_constants():
+    assert addr.PAGE_SIZE == 4096
+    assert addr.IOVA_SPACE_SIZE == 1 << 48
+
+
+def test_level_shifts_match_paper():
+    # PT-L1 entries map from the 9 MS bits of the 48-bit IOVA.
+    assert addr.LEVEL_SHIFTS[1] == 39
+    assert addr.LEVEL_SHIFTS[2] == 30
+    assert addr.LEVEL_SHIFTS[3] == 21
+    assert addr.LEVEL_SHIFTS[4] == 12
+
+
+def test_ptcache_coverage_matches_paper():
+    # "each PTcache-L1 and PTcache-L2 entry covers 2^39 and 2^30 bytes".
+    assert addr.ptcache_coverage_bytes(1) == 2**39
+    assert addr.ptcache_coverage_bytes(2) == 2**30
+    assert addr.ptcache_coverage_bytes(3) == 2**21
+
+
+def test_ptl4_page_covers_2mb():
+    # Reclaiming a PT-L4 page requires unmapping its whole 2 MB range.
+    assert addr.PTL4_PAGE_SIZE == 2 * 1024 * 1024
+
+
+def test_level_index_decomposition():
+    iova = (3 << 39) | (5 << 30) | (7 << 21) | (9 << 12)
+    assert addr.level_index(iova, 1) == 3
+    assert addr.level_index(iova, 2) == 5
+    assert addr.level_index(iova, 3) == 7
+    assert addr.level_index(iova, 4) == 9
+
+
+def test_level_index_masks_higher_bits():
+    iova = (511 << 39) | (511 << 30)
+    assert addr.level_index(iova, 2) == 511
+    assert addr.level_index(iova, 3) == 0
+
+
+def test_vpn():
+    assert addr.vpn(0) == 0
+    assert addr.vpn(4095) == 0
+    assert addr.vpn(4096) == 1
+
+
+def test_ptcache_key_shares_within_coverage():
+    base = 123 << 21
+    assert addr.ptcache_key(base, 3) == addr.ptcache_key(base + 2**21 - 1, 3)
+    assert addr.ptcache_key(base, 3) != addr.ptcache_key(base + 2**21, 3)
+
+
+def test_page_alignment_helpers():
+    assert addr.page_align_down(4097) == 4096
+    assert addr.page_align_up(4097) == 8192
+    assert addr.page_align_up(4096) == 4096

@@ -1,0 +1,86 @@
+"""Unit tests for the invalidation-queue interface."""
+
+from repro.iommu import Iommu, IommuConfig
+from repro.iommu.addr import PAGE_SIZE
+
+
+def make_iommu(**kwargs):
+    return Iommu(IommuConfig(trace_invalidations=True, **kwargs))
+
+
+def warm(iommu, base, pages):
+    for page in range(pages):
+        iommu.map_page(base + page * PAGE_SIZE, page)
+        iommu.translate(base + page * PAGE_SIZE)
+
+
+def test_preserve_flag_controls_ptcache():
+    iommu = make_iommu()
+    warm(iommu, 0x100000, 2)
+    iommu.invalidation_queue.invalidate_range(
+        0x100000, PAGE_SIZE, preserve_ptcache=True
+    )
+    assert iommu.ptcaches.l3.resident_entries > 0
+    iommu.invalidation_queue.invalidate_range(
+        0x101000, PAGE_SIZE, preserve_ptcache=False
+    )
+    assert iommu.ptcaches.l3.resident_entries == 0
+
+
+def test_requests_traced():
+    iommu = make_iommu()
+    warm(iommu, 0x100000, 1)
+    iommu.invalidation_queue.invalidate_range(
+        0x100000, PAGE_SIZE, preserve_ptcache=True
+    )
+    request = iommu.invalidation_queue.requests[-1]
+    assert request.iova == 0x100000
+    assert request.length == PAGE_SIZE
+    assert request.preserve_ptcache
+
+
+def test_cpu_cost_constant_per_request_not_per_page():
+    """The CPU pays per queue entry: a ranged 64-page invalidation
+    costs the same as a single-page one — F&S's B2 saving."""
+    iommu = make_iommu(invalidation_cpu_ns=300.0)
+    warm(iommu, 0x200000, 64)
+    single = iommu.invalidation_queue.invalidate_range(
+        0x200000, PAGE_SIZE, preserve_ptcache=True
+    )
+    ranged = iommu.invalidation_queue.invalidate_range(
+        0x201000, 63 * PAGE_SIZE, preserve_ptcache=True
+    )
+    assert single == ranged == 300.0
+
+
+def test_ptcache_only_invalidation():
+    """The F&S correctness fallback drops PTcache entries without
+    touching the IOTLB."""
+    iommu = make_iommu()
+    warm(iommu, 0x300000, 1)
+    iommu.invalidation_queue.invalidate_ptcache_range(0x300000, PAGE_SIZE)
+    assert iommu.ptcaches.l3.resident_entries == 0
+    assert iommu.iotlb.contains(0x300000)
+
+
+def test_stats_counters():
+    iommu = make_iommu()
+    warm(iommu, 0x400000, 1)
+    iommu.invalidation_queue.invalidate_range(
+        0x400000, PAGE_SIZE, preserve_ptcache=True
+    )
+    assert iommu.stats.invalidation_requests == 1
+    assert iommu.stats.ptcache_invalidation_requests == 0
+    iommu.invalidation_queue.flush_all()
+    assert iommu.stats.invalidation_requests == 2
+    assert iommu.stats.ptcache_invalidation_requests == 1
+
+
+def test_total_cpu_accumulates():
+    iommu = make_iommu(invalidation_cpu_ns=100.0)
+    warm(iommu, 0x500000, 2)
+    queue = iommu.invalidation_queue
+    queue.invalidate_range(0x500000, PAGE_SIZE, preserve_ptcache=True)
+    queue.invalidate_ptcache_range(0x500000, PAGE_SIZE)
+    queue.flush_all()
+    assert queue.total_cpu_ns == 300.0

@@ -1,0 +1,212 @@
+"""Unit tests for the top-level IOMMU: translation, walker, faults."""
+
+import pytest
+
+from repro.iommu import DmaFault, Iommu, IommuConfig
+from repro.iommu.addr import PAGE_SIZE
+
+
+def make_iommu(**kwargs):
+    return Iommu(IommuConfig(**kwargs))
+
+
+class TestTranslate:
+    def test_cold_translation_costs_four_reads(self):
+        iommu = make_iommu()
+        iommu.map_page(0x1000, 42)
+        result = iommu.translate(0x1000)
+        assert result.frame == 42
+        assert not result.iotlb_hit
+        assert result.memory_reads == 4
+
+    def test_repeat_translation_hits_iotlb(self):
+        iommu = make_iommu()
+        iommu.map_page(0x1000, 42)
+        iommu.translate(0x1000)
+        result = iommu.translate(0x1000)
+        assert result.iotlb_hit
+        assert result.memory_reads == 0
+
+    def test_neighbour_page_after_iotlb_invalidation_costs_one_read(self):
+        """The F&S fast path: IOTLB miss but PTcache-L3 hit -> 1 read."""
+        iommu = make_iommu()
+        iommu.map_page(0x1000, 1)
+        iommu.map_page(0x2000, 2)
+        iommu.translate(0x1000)
+        result = iommu.translate(0x2000)
+        assert not result.iotlb_hit
+        assert result.memory_reads == 1
+
+    def test_unmapped_iova_faults(self):
+        iommu = make_iommu()
+        with pytest.raises(DmaFault):
+            iommu.translate(0x1000)
+        assert iommu.stats.faults == 1
+
+    def test_strict_invalidation_blocks_device_access(self):
+        """The strict safety property: after unmap + invalidate, the
+        device can no longer reach the old frame."""
+        iommu = make_iommu()
+        iommu.map_page(0x1000, 42)
+        iommu.translate(0x1000)
+        iommu.unmap_range(0x1000, PAGE_SIZE)
+        iommu.invalidation_queue.invalidate_range(
+            0x1000, PAGE_SIZE, preserve_ptcache=False
+        )
+        with pytest.raises(DmaFault):
+            iommu.translate(0x1000)
+
+    def test_stale_hit_flagged_without_invalidation(self):
+        """Deferred-mode hole: unmap without invalidation leaves a
+        usable stale IOTLB entry."""
+        iommu = make_iommu(check_stale_hits=True)
+        iommu.map_page(0x1000, 42)
+        iommu.translate(0x1000)
+        iommu.unmap_range(0x1000, PAGE_SIZE)
+        result = iommu.translate(0x1000)  # no fault!
+        assert result.iotlb_hit
+        assert result.stale
+
+    def test_preserve_ptcache_keeps_walk_short(self):
+        """F&S idea A: IOTLB-only invalidation preserves the PTcaches,
+        so the unavoidable IOTLB miss costs 1 read instead of 4."""
+        iommu = make_iommu()
+        for page in range(2):
+            iommu.map_page(0x100000 + page * PAGE_SIZE, page)
+        iommu.translate(0x100000)
+        iommu.unmap_range(0x100000, PAGE_SIZE)
+        iommu.invalidation_queue.invalidate_range(
+            0x100000, PAGE_SIZE, preserve_ptcache=True
+        )
+        result = iommu.translate(0x100000 + PAGE_SIZE)
+        assert not result.iotlb_hit
+        assert result.memory_reads == 1
+
+    def test_linux_invalidation_forces_full_walk(self):
+        """Linux behaviour: PTcache entries die with the unmap, so the
+        next nearby translation pays the full 4-read walk."""
+        iommu = make_iommu()
+        for page in range(2):
+            iommu.map_page(0x100000 + page * PAGE_SIZE, page)
+        iommu.translate(0x100000)
+        iommu.unmap_range(0x100000, PAGE_SIZE)
+        iommu.invalidation_queue.invalidate_range(
+            0x100000, PAGE_SIZE, preserve_ptcache=False
+        )
+        result = iommu.translate(0x100000 + PAGE_SIZE)
+        assert result.memory_reads == 4
+
+    def test_source_tagging(self):
+        iommu = make_iommu()
+        iommu.map_page(0x1000, 1)
+        iommu.map_page(0x2000, 2)
+        iommu.translate(0x1000, source="rx")
+        iommu.translate(0x2000, source="tx_ack")
+        assert iommu.stats.translations_by_source == {"rx": 1, "tx_ack": 1}
+        assert iommu.stats.iotlb_misses_by_source == {"rx": 1, "tx_ack": 1}
+
+
+class TestWalkerTiming:
+    def test_walk_costs_reads_times_lm(self):
+        """Reads within one walk are sequential (level-dependent)."""
+        iommu = make_iommu(lm_ns=100.0, walkers=1)
+        finish = iommu.reserve_walk(now=0.0, memory_reads=4)
+        assert finish == 400.0
+
+    def test_single_walker_serializes_concurrent_walks(self):
+        iommu = make_iommu(lm_ns=100.0, walkers=1)
+        first = iommu.reserve_walk(now=0.0, memory_reads=2)
+        second = iommu.reserve_walk(now=50.0, memory_reads=1)
+        assert first == 200.0
+        assert second == 300.0
+
+    def test_parallel_walkers_overlap_walks(self):
+        """Walks for different pages proceed on parallel channels."""
+        iommu = make_iommu(lm_ns=100.0, walkers=2)
+        first = iommu.reserve_walk(now=0.0, memory_reads=2)
+        second = iommu.reserve_walk(now=0.0, memory_reads=2)
+        third = iommu.reserve_walk(now=0.0, memory_reads=1)
+        assert first == 200.0
+        assert second == 200.0
+        assert third == 300.0  # queues behind the least-loaded channel
+        assert iommu.walker_busy_until == 300.0
+
+    def test_idle_walker_starts_immediately(self):
+        iommu = make_iommu(lm_ns=100.0, walkers=1)
+        iommu.reserve_walk(now=0.0, memory_reads=1)
+        finish = iommu.reserve_walk(now=1000.0, memory_reads=1)
+        assert finish == 1100.0
+
+    def test_zero_reads_is_free(self):
+        iommu = make_iommu()
+        assert iommu.reserve_walk(now=5.0, memory_reads=0) == 5.0
+
+    def test_zero_walkers_rejected(self):
+        with pytest.raises(ValueError):
+            make_iommu(walkers=0)
+
+    def test_contention_inflates_read_latency(self):
+        iommu = make_iommu(lm_ns=100.0, walkers=1)
+        relaxed = iommu.reserve_walk(0.0, 1, utilization=0.0)
+        inflated = iommu.reserve_walk(relaxed, 1, utilization=0.9)
+        assert inflated - relaxed > 100.0
+
+
+class TestStatsDelta:
+    def test_snapshot_delta_and_per_page(self):
+        iommu = make_iommu()
+        for page in range(8):
+            iommu.map_page(page * PAGE_SIZE, page)
+        iommu.translate(0)
+        before = iommu.stats.snapshot()
+        for page in range(8):
+            iommu.translate(page * PAGE_SIZE)
+        delta = iommu.stats.delta(before)
+        assert delta.translations == 8
+        assert delta.iotlb_hits == 1  # page 0 was already cached
+        per_page = delta.per_page(8)
+        assert per_page.iotlb == pytest.approx(7 / 8)
+        assert per_page.memory_reads == pytest.approx(
+            per_page.iotlb + per_page.l1 + per_page.l2 + per_page.l3
+        )
+
+    def test_per_page_requires_positive_pages(self):
+        iommu = make_iommu()
+        delta = iommu.stats.delta(iommu.stats.snapshot())
+        with pytest.raises(ValueError):
+            delta.per_page(0)
+
+
+class TestInvalidationQueue:
+    def test_cpu_cost_accumulates(self):
+        iommu = make_iommu(invalidation_cpu_ns=100.0)
+        iommu.map_page(0x1000, 1)
+        cost = iommu.invalidation_queue.invalidate_range(
+            0x1000, PAGE_SIZE, preserve_ptcache=True
+        )
+        assert cost == 100.0
+        assert iommu.invalidation_queue.total_cpu_ns == 100.0
+
+    def test_batched_invalidation_is_single_request(self):
+        """F&S idea B2: one queue entry for a whole descriptor."""
+        iommu = make_iommu(trace_invalidations=True)
+        base = 0x200000
+        for page in range(64):
+            iommu.map_page(base + page * PAGE_SIZE, page)
+            iommu.translate(base + page * PAGE_SIZE)
+        iommu.invalidation_queue.invalidate_range(
+            base, 64 * PAGE_SIZE, preserve_ptcache=True
+        )
+        assert iommu.stats.invalidation_requests == 1
+        assert iommu.iotlb.resident_entries == 0
+        requests = iommu.invalidation_queue.requests
+        assert len(requests) == 1
+        assert requests[0].length == 64 * PAGE_SIZE
+
+    def test_flush_all(self):
+        iommu = make_iommu()
+        iommu.map_page(0x1000, 1)
+        iommu.translate(0x1000)
+        iommu.invalidation_queue.flush_all()
+        assert iommu.iotlb.resident_entries == 0
+        assert iommu.ptcaches.l3.resident_entries == 0

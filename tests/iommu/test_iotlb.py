@@ -1,0 +1,105 @@
+"""Unit tests for the IOTLB."""
+
+import pytest
+
+from repro.iommu import Iotlb
+from repro.iommu.addr import PAGE_SIZE
+
+
+def test_miss_then_hit():
+    tlb = Iotlb(entries=8, ways=2)
+    assert tlb.lookup(0x1000) is None
+    tlb.insert(0x1000, 42)
+    assert tlb.lookup(0x1000) == 42
+    assert tlb.hits == 1
+    assert tlb.misses == 1
+
+
+def test_offset_within_page_hits_same_entry():
+    tlb = Iotlb(entries=8, ways=2)
+    tlb.insert(0x1000, 42)
+    assert tlb.lookup(0x1FFF) == 42
+
+
+def test_lru_eviction_within_set():
+    tlb = Iotlb(entries=4, ways=2)  # 2 sets
+    # Pages 0 and 2 map to set 0 (even page numbers).
+    tlb.insert(0 * PAGE_SIZE, 10)
+    tlb.insert(2 * PAGE_SIZE, 20)
+    # Touch page 0 so page 2 becomes LRU.
+    assert tlb.lookup(0) == 10
+    tlb.insert(4 * PAGE_SIZE, 30)  # evicts page 2
+    assert tlb.lookup(2 * PAGE_SIZE) is None
+    assert tlb.lookup(0) == 10
+    assert tlb.evictions == 1
+
+
+def test_set_isolation():
+    tlb = Iotlb(entries=4, ways=2)
+    # Odd pages land in set 1 and cannot evict even pages.
+    tlb.insert(0 * PAGE_SIZE, 1)
+    tlb.insert(1 * PAGE_SIZE, 2)
+    tlb.insert(3 * PAGE_SIZE, 3)
+    tlb.insert(5 * PAGE_SIZE, 4)  # evicts page 1, not page 0
+    assert tlb.lookup(0) == 1
+    assert tlb.lookup(1 * PAGE_SIZE) is None
+
+
+def test_invalidate_page():
+    tlb = Iotlb(entries=8, ways=2)
+    tlb.insert(0x5000, 7)
+    assert tlb.invalidate_page(0x5000)
+    assert not tlb.invalidate_page(0x5000)
+    assert tlb.lookup(0x5000) is None
+
+
+def test_invalidate_range_drops_all_covered():
+    tlb = Iotlb(entries=64, ways=4)
+    for page in range(10):
+        tlb.insert(page * PAGE_SIZE, page)
+    dropped = tlb.invalidate_range(2 * PAGE_SIZE, 3 * PAGE_SIZE)
+    assert dropped == 3
+    assert tlb.lookup(1 * PAGE_SIZE) == 1
+    assert tlb.lookup(2 * PAGE_SIZE) is None
+    assert tlb.lookup(4 * PAGE_SIZE) is None
+    assert tlb.lookup(5 * PAGE_SIZE) == 5
+
+
+def test_invalidate_huge_range_uses_scan_path():
+    tlb = Iotlb(entries=8, ways=2)
+    tlb.insert(0x1000, 1)
+    tlb.insert(0x100000, 2)
+    dropped = tlb.invalidate_range(0, 1 << 30)
+    assert dropped == 2
+    assert tlb.resident_entries == 0
+
+
+def test_flush_clears_everything():
+    tlb = Iotlb(entries=8, ways=2)
+    for page in range(4):
+        tlb.insert(page * PAGE_SIZE, page)
+    assert tlb.flush() == 4
+    assert tlb.resident_entries == 0
+
+
+def test_reinsert_updates_frame():
+    tlb = Iotlb(entries=8, ways=2)
+    tlb.insert(0x1000, 1)
+    tlb.insert(0x1000, 2)
+    assert tlb.lookup(0x1000) == 2
+    assert tlb.resident_entries == 1
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        Iotlb(entries=10, ways=4)
+    with pytest.raises(ValueError):
+        Iotlb(entries=0, ways=1)
+
+
+def test_miss_rate():
+    tlb = Iotlb(entries=8, ways=2)
+    tlb.lookup(0x1000)
+    tlb.insert(0x1000, 1)
+    tlb.lookup(0x1000)
+    assert tlb.miss_rate == pytest.approx(0.5)

@@ -1,0 +1,140 @@
+"""Unit and property tests for the red-black IOVA range tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iova import IovaRange, IovaRbTree
+
+
+def build_tree(ranges):
+    tree = IovaRbTree()
+    for lo, hi in ranges:
+        tree.insert(IovaRange(lo, hi))
+    return tree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = IovaRbTree()
+        assert tree.is_empty()
+        assert len(tree) == 0
+        assert tree.maximum() is None
+        assert tree.find(0) is None
+
+    def test_insert_and_find(self):
+        tree = build_tree([(10, 19), (30, 39), (0, 4)])
+        assert tree.find(10).pfn_hi == 19
+        assert tree.find(30).pfn_hi == 39
+        assert tree.find(20) is None
+        assert len(tree) == 3
+
+    def test_find_containing(self):
+        tree = build_tree([(10, 19), (30, 39)])
+        assert tree.find_containing(15).pfn_lo == 10
+        assert tree.find_containing(39).pfn_lo == 30
+        assert tree.find_containing(25) is None
+
+    def test_maximum(self):
+        tree = build_tree([(10, 19), (50, 59), (30, 39)])
+        assert tree.maximum().pfn_lo == 50
+
+    def test_inorder_iteration_sorted(self):
+        tree = build_tree([(50, 59), (10, 19), (30, 39)])
+        assert [node.pfn_lo for node in tree] == [10, 30, 50]
+
+    def test_predecessor_walk(self):
+        tree = build_tree([(10, 19), (30, 39), (50, 59)])
+        node = tree.maximum()
+        seen = [node.pfn_lo]
+        while True:
+            node = tree.predecessor(node)
+            if node is None:
+                break
+            seen.append(node.pfn_lo)
+        assert seen == [50, 30, 10]
+
+    def test_delete(self):
+        tree = build_tree([(10, 19), (30, 39), (50, 59)])
+        tree.delete(tree.find(30))
+        assert tree.find(30) is None
+        assert [node.pfn_lo for node in tree] == [10, 50]
+        tree.check_invariants()
+
+    def test_delete_root_repeatedly(self):
+        tree = build_tree([(i * 10, i * 10 + 5) for i in range(20)])
+        while not tree.is_empty():
+            tree.delete(tree.root)
+            tree.check_invariants()
+
+    def test_range_size(self):
+        assert IovaRange(10, 19).size == 10
+
+
+class TestInvariantChecker:
+    def test_detects_red_root(self):
+        tree = build_tree([(0, 1)])
+        tree.root.color = 0  # force RED
+        with pytest.raises(AssertionError):
+            tree.check_invariants()
+
+
+@st.composite
+def operation_sequences(draw):
+    """Sequences of insert/delete ops over disjoint unit ranges."""
+    keys = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=1,
+            max_size=120,
+            unique=True,
+        )
+    )
+    ops = []
+    inserted = []
+    for key in keys:
+        ops.append(("insert", key))
+        inserted.append(key)
+        if inserted and draw(st.booleans()):
+            victim = draw(st.sampled_from(inserted))
+            inserted.remove(victim)
+            ops.append(("delete", victim))
+    return ops
+
+
+@given(operation_sequences())
+@settings(max_examples=60, deadline=None)
+def test_red_black_invariants_hold_under_churn(ops):
+    """After every operation the red-black and ordering invariants hold."""
+    tree = IovaRbTree()
+    live = set()
+    for action, key in ops:
+        lo = key * 2  # keep ranges disjoint
+        if action == "insert":
+            tree.insert(IovaRange(lo, lo + 1))
+            live.add(key)
+        else:
+            node = tree.find(lo)
+            assert node is not None
+            tree.delete(node)
+            live.discard(key)
+        tree.check_invariants()
+        assert len(tree) == len(live)
+    assert sorted(node.pfn_lo // 2 for node in tree) == sorted(live)
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=1_000),
+        min_size=1,
+        max_size=200,
+        unique=True,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_inorder_matches_sorted_insertion(keys):
+    tree = IovaRbTree()
+    for key in keys:
+        tree.insert(IovaRange(key * 3, key * 3 + 1))
+    assert [node.pfn_lo for node in tree] == sorted(key * 3 for key in keys)
+    tree.check_invariants()

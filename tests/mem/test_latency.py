@@ -1,0 +1,40 @@
+"""Unit tests for the memory latency model."""
+
+import pytest
+
+from repro.mem import DEFAULT_L0_NS, DEFAULT_LM_NS, MemoryLatencyModel
+
+
+def test_paper_fitted_constants():
+    """The paper fits l0 = 65 ns and lm = 197 ns (§2.2)."""
+    assert DEFAULT_L0_NS == 65.0
+    assert DEFAULT_LM_NS == 197.0
+
+
+def test_uncontended_read_is_base_latency():
+    model = MemoryLatencyModel(base_read_ns=100.0)
+    assert model.read_latency_ns(0.0) == 100.0
+
+
+def test_latency_monotone_in_utilization():
+    model = MemoryLatencyModel(base_read_ns=100.0)
+    latencies = [model.read_latency_ns(u / 10) for u in range(10)]
+    assert latencies == sorted(latencies)
+    assert latencies[-1] > latencies[0]
+
+
+def test_saturation_clamped():
+    model = MemoryLatencyModel(base_read_ns=100.0)
+    assert model.read_latency_ns(1.5) == model.read_latency_ns(0.99)
+    assert model.read_latency_ns(0.99) < float("inf")
+
+
+def test_low_utilization_barely_inflates():
+    model = MemoryLatencyModel(base_read_ns=100.0)
+    assert model.read_latency_ns(0.2) == pytest.approx(100.0, rel=0.01)
+
+
+def test_utilization_conversion():
+    model = MemoryLatencyModel(channel_bandwidth_gbps=40.0)
+    assert model.utilization(20.0) == pytest.approx(0.5)
+    assert model.utilization(80.0) == 1.0

@@ -1,0 +1,68 @@
+"""Unit tests for the physical frame allocator."""
+
+import pytest
+
+from repro.mem import OutOfMemoryError, PhysicalMemory
+
+
+def test_alloc_returns_distinct_frames():
+    mem = PhysicalMemory(total_frames=16)
+    frames = mem.alloc_frames(16)
+    assert len(set(frames)) == 16
+
+
+def test_exhaustion_raises():
+    mem = PhysicalMemory(total_frames=2)
+    mem.alloc_frames(2)
+    with pytest.raises(OutOfMemoryError):
+        mem.alloc_frame()
+
+
+def test_free_allows_reuse():
+    mem = PhysicalMemory(total_frames=1)
+    frame = mem.alloc_frame()
+    mem.free_frame(frame)
+    assert mem.alloc_frame() == frame
+
+
+def test_double_free_raises():
+    mem = PhysicalMemory(total_frames=4)
+    frame = mem.alloc_frame()
+    mem.free_frame(frame)
+    with pytest.raises(ValueError):
+        mem.free_frame(frame)
+
+
+def test_free_unallocated_raises():
+    mem = PhysicalMemory(total_frames=4)
+    with pytest.raises(ValueError):
+        mem.free_frame(3)
+
+
+def test_usage_accounting():
+    mem = PhysicalMemory(total_frames=8)
+    frames = mem.alloc_frames(5)
+    assert mem.frames_in_use == 5
+    mem.free_frames(frames[:2])
+    assert mem.frames_in_use == 3
+    assert mem.alloc_count == 5
+    assert mem.free_count == 2
+
+
+def test_is_allocated():
+    mem = PhysicalMemory(total_frames=4)
+    frame = mem.alloc_frame()
+    assert mem.is_allocated(frame)
+    mem.free_frame(frame)
+    assert not mem.is_allocated(frame)
+
+
+def test_negative_count_rejected():
+    mem = PhysicalMemory(total_frames=4)
+    with pytest.raises(ValueError):
+        mem.alloc_frames(-1)
+
+
+def test_zero_frames_rejected():
+    with pytest.raises(ValueError):
+        PhysicalMemory(total_frames=0)

@@ -1,0 +1,29 @@
+"""Unit tests for the packet representation."""
+
+from repro.net import ACK_SIZE_BYTES, Packet, PacketKind
+
+
+def test_unique_packet_ids():
+    first = Packet(1, 0, 100)
+    second = Packet(1, 0, 100)
+    assert first.packet_id != second.packet_id
+
+
+def test_data_kinds():
+    assert Packet(1, 0, 100, PacketKind.DATA).is_data
+    assert Packet(1, 0, 100, PacketKind.RPC_REQ).is_data
+    assert Packet(1, 0, 100, PacketKind.RPC_RESP).is_data
+    assert not Packet(1, 0, ACK_SIZE_BYTES, PacketKind.ACK).is_data
+
+
+def test_default_flags():
+    packet = Packet(1, 5, 4096, created_ns=10.0)
+    assert not packet.ecn_marked
+    assert not packet.ecn_echo
+    assert not packet.retransmission
+    assert packet.created_ns == 10.0
+    assert packet.sack_seq is None
+
+
+def test_ack_size_constant():
+    assert ACK_SIZE_BYTES == 64

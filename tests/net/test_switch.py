@@ -1,0 +1,94 @@
+"""Unit tests for the switch port model."""
+
+import pytest
+
+from repro.net import Packet, PacketKind, SwitchPort
+from repro.sim import Simulator
+
+
+def data_packet(seq=0, size=4096):
+    return Packet(1, seq, size, PacketKind.DATA)
+
+
+def test_delivery_includes_wire_and_propagation():
+    sim = Simulator()
+    arrivals = []
+    port = SwitchPort(
+        sim,
+        rate_gbps=100.0,
+        propagation_ns=2000.0,
+        deliver=lambda p: arrivals.append((p.seq, sim.now)),
+    )
+    port.enqueue(data_packet(0))
+    sim.run()
+    # 4096 B at 100 Gbps = 327.68 ns wire + 2000 ns propagation.
+    assert arrivals[0][1] == pytest.approx(2327.68)
+
+
+def test_back_to_back_serialization():
+    sim = Simulator()
+    arrivals = []
+    port = SwitchPort(
+        sim, rate_gbps=100.0, propagation_ns=0.0,
+        deliver=lambda p: arrivals.append(sim.now),
+    )
+    port.enqueue(data_packet(0))
+    port.enqueue(data_packet(1))
+    sim.run()
+    assert arrivals[1] - arrivals[0] == pytest.approx(327.68)
+
+
+def test_overflow_drops():
+    sim = Simulator()
+    port = SwitchPort(sim, buffer_bytes=8192, deliver=lambda p: None)
+    accepted = sum(port.enqueue(data_packet(i)) for i in range(5))
+    assert accepted < 5
+    assert port.drops == 5 - accepted
+
+
+def test_ecn_marking_above_threshold():
+    sim = Simulator()
+    port = SwitchPort(
+        sim,
+        buffer_bytes=1 << 20,
+        ecn_threshold_bytes=8192,
+        deliver=lambda p: None,
+    )
+    packets = [data_packet(i) for i in range(6)]
+    for packet in packets:
+        port.enqueue(packet)
+    # Early packets unmarked, later ones marked once queue > 8 KB.
+    assert not packets[0].ecn_marked
+    assert packets[-1].ecn_marked
+
+
+def test_acks_never_ecn_marked():
+    sim = Simulator()
+    port = SwitchPort(
+        sim,
+        buffer_bytes=1 << 20,
+        ecn_threshold_bytes=1,
+        deliver=lambda p: None,
+    )
+    port.enqueue(data_packet(0))
+    ack = Packet(1, 0, 64, PacketKind.ACK)
+    port.enqueue(ack)
+    assert not ack.ecn_marked
+
+
+def test_ordering_preserved():
+    sim = Simulator()
+    arrivals = []
+    port = SwitchPort(sim, deliver=lambda p: arrivals.append(p.seq))
+    for seq in range(10):
+        port.enqueue(data_packet(seq))
+    sim.run()
+    assert arrivals == list(range(10))
+
+
+def test_delivered_bytes_counter():
+    sim = Simulator()
+    port = SwitchPort(sim, deliver=lambda p: None)
+    port.enqueue(data_packet(0, size=1000))
+    sim.run()
+    assert port.delivered_bytes == 1000

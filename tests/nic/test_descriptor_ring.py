@@ -1,0 +1,122 @@
+"""Unit tests for Rx descriptors and rings."""
+
+import pytest
+
+from repro.nic import Nic, PageSlot, RxDescriptor, RxRing
+
+
+def make_descriptor(pages=4, core=0):
+    slots = [PageSlot(iova=i * 4096, frame=i) for i in range(pages)]
+    return RxDescriptor(slots=slots, core=core)
+
+
+class TestDescriptor:
+    def test_take_page_consumes_in_order(self):
+        desc = make_descriptor(3)
+        assert desc.take_page().iova == 0
+        assert desc.take_page().iova == 4096
+        assert desc.free_pages == 1
+
+    def test_exhausted_raises(self):
+        desc = make_descriptor(1)
+        desc.take_page()
+        with pytest.raises(RuntimeError):
+            desc.take_page()
+
+    def test_complete_requires_dma_done(self):
+        desc = make_descriptor(2)
+        desc.take_page()
+        desc.take_page()
+        assert desc.is_exhausted
+        assert not desc.is_complete
+        desc.dma_done()
+        assert not desc.is_complete
+        desc.dma_done()
+        assert desc.is_complete
+
+    def test_dma_done_overflow_raises(self):
+        desc = make_descriptor(2)
+        desc.take_page()
+        with pytest.raises(RuntimeError):
+            desc.dma_done(2)
+
+
+class TestRing:
+    def test_take_pages_spans_descriptors(self):
+        ring = RxRing(core=0)
+        ring.post(make_descriptor(2))
+        ring.post(make_descriptor(2))
+        taken = ring.take_pages(3)
+        assert len(taken) == 3
+        assert taken[0][0] is not taken[2][0]
+        assert ring.free_pages == 1
+
+    def test_take_too_many_raises(self):
+        ring = RxRing(core=0)
+        ring.post(make_descriptor(2))
+        with pytest.raises(RuntimeError):
+            ring.take_pages(3)
+
+    def test_pop_completed_only_leading(self):
+        ring = RxRing(core=0)
+        first, second = make_descriptor(1), make_descriptor(1)
+        ring.post(first)
+        ring.post(second)
+        taken = ring.take_pages(2)
+        # Complete the second only: nothing pops (FIFO retirement).
+        second.dma_done()
+        assert ring.pop_completed() == []
+        first.dma_done()
+        popped = ring.pop_completed()
+        assert popped == [first, second]
+        assert ring.completed_descriptors == 2
+        assert taken
+
+    def test_head(self):
+        ring = RxRing(core=0)
+        assert ring.head() is None
+        desc = make_descriptor(1)
+        ring.post(desc)
+        assert ring.head() is desc
+
+
+class TestNic:
+    class FakePacket:
+        def __init__(self, flow_id=0, size_bytes=4096):
+            self.flow_id = flow_id
+            self.size_bytes = size_bytes
+
+    def test_flow_steering_is_stable(self):
+        nic = Nic(num_cores=4)
+        assert nic.ring_for_flow(5) is nic.ring_for_flow(5)
+        assert nic.ring_for_flow(1) is nic.rings[1]
+        assert nic.ring_for_flow(6) is nic.rings[2]
+
+    def test_offer_requires_ring_pages(self):
+        nic = Nic(num_cores=1)
+        packet = self.FakePacket()
+        assert not nic.offer(packet, pages_needed=1)
+        assert nic.stats.ring_drops == 1
+        nic.rings[0].post(make_descriptor(4))
+        assert nic.offer(packet, pages_needed=1)
+
+    def test_buffer_overflow_drops(self):
+        nic = Nic(num_cores=1, buffer_bytes=8192)
+        nic.rings[0].post(make_descriptor(64))
+        packets = [self.FakePacket() for _ in range(3)]
+        results = [nic.offer(p, 1) for p in packets]
+        assert results == [True, True, False]
+        assert nic.stats.buffer_drops == 1
+        assert nic.stats.drop_fraction == pytest.approx(1 / 3)
+
+    def test_next_packet_fifo(self):
+        nic = Nic(num_cores=1)
+        nic.rings[0].post(make_descriptor(64))
+        first = self.FakePacket(flow_id=0)
+        second = self.FakePacket(flow_id=0)
+        nic.offer(first, 1)
+        nic.offer(second, 1)
+        assert nic.next_packet() is first
+        assert nic.next_packet() is second
+        assert nic.next_packet() is None
+        assert nic.stats.dma_packets == 2

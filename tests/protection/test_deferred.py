@@ -1,0 +1,88 @@
+"""Unit tests for the deferred (lazy) protection mode."""
+
+import pytest
+
+from repro.iommu import Iommu, IommuConfig
+from repro.mem import PhysicalMemory
+from repro.protection import DeferredDriver
+
+
+def make_driver(flush_threshold=8):
+    iommu = Iommu(IommuConfig())
+    physmem = PhysicalMemory(1 << 16)
+    driver = DeferredDriver(
+        iommu, physmem, num_cpus=2, flush_threshold=flush_threshold
+    )
+    return driver, iommu, physmem
+
+
+def consume(descriptor):
+    for _ in range(descriptor.size):
+        descriptor.take_page()
+        descriptor.dma_done()
+
+
+class TestDeferral:
+    def test_unmaps_accumulate_until_threshold(self):
+        driver, iommu, _ = make_driver(flush_threshold=8)
+        descriptor, _ = driver.make_rx_descriptor(core=0, pages=4)
+        consume(descriptor)
+        driver.retire_rx_descriptor(descriptor, core=0)
+        assert driver.pending_invalidations == 4
+        assert driver.flushes == 0
+
+    def test_threshold_triggers_global_flush(self):
+        driver, iommu, _ = make_driver(flush_threshold=8)
+        for _ in range(2):
+            descriptor, _ = driver.make_rx_descriptor(core=0, pages=4)
+            for slot in descriptor.slots:
+                driver.translate(slot.iova, "rx")
+            consume(descriptor)
+            driver.retire_rx_descriptor(descriptor, core=0)
+        assert driver.flushes == 1
+        assert driver.pending_invalidations == 0
+        assert iommu.iotlb.resident_entries == 0
+
+    def test_iovas_not_reused_before_flush(self):
+        """Reuse before the flush would hand a live stale translation
+        to a different buffer; the driver must hold IOVAs back."""
+        driver, _, _ = make_driver(flush_threshold=10_000)
+        descriptor, _ = driver.make_rx_descriptor(core=0, pages=4)
+        first_iovas = {slot.iova for slot in descriptor.slots}
+        consume(descriptor)
+        driver.retire_rx_descriptor(descriptor, core=0)
+        replacement, _ = driver.make_rx_descriptor(core=0, pages=4)
+        second_iovas = {slot.iova for slot in replacement.slots}
+        assert not (first_iovas & second_iovas)
+
+    def test_iovas_reusable_after_flush(self):
+        driver, _, _ = make_driver(flush_threshold=10_000)
+        descriptor, _ = driver.make_rx_descriptor(core=0, pages=4)
+        first_iovas = {slot.iova for slot in descriptor.slots}
+        consume(descriptor)
+        driver.retire_rx_descriptor(descriptor, core=0)
+        driver.flush()
+        replacement, _ = driver.make_rx_descriptor(core=0, pages=4)
+        second_iovas = {slot.iova for slot in replacement.slots}
+        assert first_iovas & second_iovas
+
+    def test_stale_translation_counted(self):
+        driver, _, _ = make_driver(flush_threshold=10_000)
+        descriptor, _ = driver.make_rx_descriptor(core=0, pages=1)
+        iova = descriptor.slots[0].iova
+        driver.translate(iova, "rx")
+        consume(descriptor)
+        driver.retire_rx_descriptor(descriptor, core=0)
+        driver.translate(iova, "rx")  # no fault: the safety hole
+        assert driver.stale_translations == 1
+
+    def test_tx_pages_also_deferred(self):
+        driver, _, _ = make_driver(flush_threshold=10_000)
+        mapping, _ = driver.map_tx_page(core=0)
+        driver.retire_tx_pages([mapping], core=0)
+        assert driver.pending_invalidations == 1
+
+    def test_not_strict(self):
+        driver, _, _ = make_driver()
+        assert not driver.strict_safety
+        assert driver.name == "linux-deferred"

@@ -1,0 +1,130 @@
+"""Unit tests for the event-calendar engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_call_after_fires_in_order():
+    sim = Simulator()
+    fired = []
+    sim.call_after(30.0, lambda: fired.append("c"))
+    sim.call_after(10.0, lambda: fired.append("a"))
+    sim.call_after(20.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.call_after(100.0, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [100.0]
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    fired = []
+    for label in range(5):
+        sim.call_at(50.0, lambda l=label: fired.append(l))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    sim.call_after(500.0, lambda: None)
+    end = sim.run(until=200.0)
+    assert end == 200.0
+    assert sim.now == 200.0
+    # The 500 ns event is still pending and fires on the next run.
+    fired = []
+    sim.call_after(0.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert sim.now == 500.0
+
+
+def test_run_until_includes_boundary_events():
+    sim = Simulator()
+    fired = []
+    sim.call_at(100.0, lambda: fired.append("x"))
+    sim.run(until=100.0)
+    assert fired == ["x"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.call_after(10.0, lambda: fired.append("x"))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_scheduling_in_past_raises():
+    sim = Simulator()
+    sim.call_after(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_after(-1.0, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.call_after(5.0, lambda: fired.append("second"))
+
+    sim.call_after(10.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 15.0
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.call_after(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.call_after(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.call_after(1.0, lambda: fired.append(1))
+    sim.call_after(2.0, lambda: fired.append(2))
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert fired == [1, 2]
+    assert not sim.step()
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.call_after(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1

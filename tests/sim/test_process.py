@@ -1,0 +1,131 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Process, Signal, SimulationError, Simulator, Timeout
+
+
+def test_process_sleeps_through_timeouts():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        log.append(("start", sim.now))
+        yield Timeout(100.0)
+        log.append(("mid", sim.now))
+        yield Timeout(50.0)
+        log.append(("end", sim.now))
+
+    Process(sim, worker())
+    sim.run()
+    assert log == [("start", 0.0), ("mid", 100.0), ("end", 150.0)]
+
+
+def test_signal_wakes_waiters_with_value():
+    sim = Simulator()
+    received = []
+
+    def waiter(signal):
+        value = yield signal
+        received.append((value, sim.now))
+
+    def firer(signal):
+        yield Timeout(42.0)
+        signal.fire("payload")
+
+    signal = Signal(sim)
+    Process(sim, waiter(signal))
+    Process(sim, waiter(signal))
+    Process(sim, firer(signal))
+    sim.run()
+    assert received == [("payload", 42.0), ("payload", 42.0)]
+
+
+def test_signal_only_wakes_current_waiters():
+    sim = Simulator()
+    received = []
+    signal = Signal(sim)
+
+    def late_waiter():
+        yield Timeout(100.0)
+        value = yield signal
+        received.append(value)
+
+    def firer():
+        yield Timeout(10.0)
+        signal.fire("early")
+
+    Process(sim, late_waiter())
+    Process(sim, firer())
+    sim.run()
+    # The late waiter subscribed after the fire: it stays blocked.
+    assert received == []
+    assert signal.waiting == 1
+
+
+def test_join_returns_generator_value():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield Timeout(10.0)
+        return 123
+
+    def parent():
+        value = yield Process(sim, child())
+        results.append((value, sim.now))
+
+    Process(sim, parent())
+    sim.run()
+    assert results == [(123, 10.0)]
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+    results = []
+
+    def child():
+        return 7
+        yield  # pragma: no cover
+
+    child_proc = Process(sim, child())
+
+    def parent():
+        yield Timeout(100.0)
+        value = yield child_proc
+        results.append(value)
+
+    Process(sim, parent())
+    sim.run()
+    assert results == [7]
+
+
+def test_interrupt_terminates_process():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        yield Timeout(100.0)
+        log.append("should not happen")
+
+    proc = Process(sim, worker())
+    sim.call_after(10.0, proc.interrupt)
+    sim.run()
+    assert log == []
+    assert proc.finished
+
+
+def test_yielding_garbage_raises():
+    sim = Simulator()
+
+    def bad():
+        yield "nonsense"
+
+    Process(sim, bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-5.0)

@@ -1,0 +1,147 @@
+"""Unit tests for queues, pipelines, and pacers."""
+
+import pytest
+
+from repro.sim import FifoQueue, Simulator, TokenBucketPacer, WindowedPipeline
+
+
+class TestFifoQueue:
+    def test_enqueue_dequeue_order(self):
+        q = FifoQueue(capacity_bytes=100)
+        assert q.try_enqueue("a", 10)
+        assert q.try_enqueue("b", 20)
+        assert q.dequeue() == ("a", 10)
+        assert q.dequeue() == ("b", 20)
+        assert q.dequeue() is None
+
+    def test_tail_drop_on_overflow(self):
+        q = FifoQueue(capacity_bytes=25)
+        assert q.try_enqueue("a", 10)
+        assert q.try_enqueue("b", 10)
+        assert not q.try_enqueue("c", 10)
+        assert q.dropped_items == 1
+        assert q.dropped_bytes == 10
+        assert len(q) == 2
+
+    def test_occupancy_tracks_bytes(self):
+        q = FifoQueue(capacity_bytes=100)
+        q.try_enqueue("a", 30)
+        q.try_enqueue("b", 40)
+        assert q.occupancy_bytes == 70
+        q.dequeue()
+        assert q.occupancy_bytes == 40
+
+    def test_peak_occupancy(self):
+        q = FifoQueue(capacity_bytes=100)
+        q.try_enqueue("a", 60)
+        q.dequeue()
+        q.try_enqueue("b", 30)
+        assert q.peak_occupancy_bytes == 60
+
+    def test_ecn_marking_threshold(self):
+        q = FifoQueue(capacity_bytes=100, ecn_threshold_bytes=50)
+        q.try_enqueue("a", 40)
+        assert not q.should_mark()
+        q.try_enqueue("b", 20)
+        assert q.should_mark()
+
+    def test_no_threshold_never_marks(self):
+        q = FifoQueue(capacity_bytes=100)
+        q.try_enqueue("a", 99)
+        assert not q.should_mark()
+
+    def test_drop_fraction(self):
+        q = FifoQueue(capacity_bytes=10)
+        q.try_enqueue("a", 10)
+        q.try_enqueue("b", 10)
+        assert q.drop_fraction == pytest.approx(0.5)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FifoQueue(capacity_bytes=0)
+
+
+class TestWindowedPipeline:
+    def test_throughput_limited_by_window_littles_law(self):
+        """window W, latency L -> sustained rate = W/L items of size s."""
+        sim = Simulator()
+        pipe = WindowedPipeline(sim, window_bytes=2000)
+        done = []
+        # 10 items of 1000 bytes, 100 ns latency each, window fits 2.
+        for i in range(10):
+            pipe.submit(1000, 100.0, lambda i=i: done.append((i, sim.now)))
+        sim.run()
+        # 2 in flight at a time -> batches complete at 100, 200, ...
+        assert done[0][1] == 100.0
+        assert done[1][1] == 100.0
+        assert done[2][1] == 200.0
+        assert done[-1][1] == 500.0
+        assert pipe.completed_items == 10
+
+    def test_oversized_item_admitted_alone(self):
+        sim = Simulator()
+        pipe = WindowedPipeline(sim, window_bytes=100)
+        done = []
+        pipe.submit(500, 10.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [10.0]
+
+    def test_max_inflight_items_cap(self):
+        sim = Simulator()
+        pipe = WindowedPipeline(sim, window_bytes=10**9, max_inflight_items=1)
+        done = []
+        for _ in range(3):
+            pipe.submit(10, 50.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [50.0, 100.0, 150.0]
+
+    def test_queued_items_counts_waiting(self):
+        sim = Simulator()
+        pipe = WindowedPipeline(sim, window_bytes=10, max_inflight_items=1)
+        for _ in range(3):
+            pipe.submit(10, 50.0, lambda: None)
+        assert pipe.queued_items == 2
+
+    def test_completion_admits_next(self):
+        sim = Simulator()
+        pipe = WindowedPipeline(sim, window_bytes=10)
+        order = []
+        pipe.submit(10, 30.0, lambda: order.append("first"))
+        pipe.submit(10, 10.0, lambda: order.append("second"))
+        sim.run()
+        # Second cannot start until first finishes at t=30.
+        assert order == ["first", "second"]
+        assert sim.now == 40.0
+
+
+class TestTokenBucketPacer:
+    def test_serializes_at_line_rate(self):
+        sim = Simulator()
+        pacer = TokenBucketPacer(sim, rate_gbps=100.0)  # 100 bits/ns
+        times = []
+        # 4000-byte packet = 32000 bits = 320 ns of wire time.
+        pacer.send(4000, lambda: times.append(sim.now))
+        pacer.send(4000, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [320.0, 640.0]
+
+    def test_idle_restart_from_now(self):
+        sim = Simulator()
+        pacer = TokenBucketPacer(sim, rate_gbps=100.0)
+        times = []
+        pacer.send(1000, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [80.0]
+        # After idling, the next send starts from "now", not the old
+        # serializer booking: scheduled at t=1080, delivered at 1160.
+        sim.call_after(
+            1000.0, lambda: pacer.send(1000, lambda: times.append(sim.now))
+        )
+        sim.run()
+        assert times[1] == pytest.approx(1080.0 + 80.0)
+
+    def test_backlog_reporting(self):
+        sim = Simulator()
+        pacer = TokenBucketPacer(sim, rate_gbps=1.0)  # 1 bit/ns
+        pacer.send(125, lambda: None)  # 1000 bits = 1000 ns
+        assert pacer.backlog_ns == pytest.approx(1000.0)

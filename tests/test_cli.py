@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, main
+from repro.experiments import settings
+
+
+@pytest.fixture(autouse=True)
+def fast_quick(monkeypatch):
+    """Shrink the quick scale so CLI tests stay fast."""
+    micro = settings.RunScale(
+        name="micro",
+        warmup_ns=800_000.0,
+        measure_ns=1_500_000.0,
+        latency_measure_ns=3_000_000.0,
+    )
+    monkeypatch.setattr("repro.cli.QUICK", micro)
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in FIGURES:
+        assert name in out
+
+
+def test_unknown_figure_errors(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_runs_one_figure(capsys):
+    assert main(["fig12"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 12" in out
+    assert "fns" in out
+
+
+def test_out_file_appended(tmp_path, capsys):
+    target = tmp_path / "tables.txt"
+    assert main(["fig12", "--out", str(target)]) == 0
+    capsys.readouterr()
+    assert "Fig 12" in target.read_text()
