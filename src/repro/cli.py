@@ -7,9 +7,14 @@ Usage::
     python -m repro fig9 --full          # full-length run
     python -m repro fig12 --out out.txt  # also write the table to a file
     python -m repro all                  # every figure, quick scale
+    python -m repro run fig7 --verify    # run with the invariant monitor
+    python -m repro lint src/            # determinism/safety lint pass
 
 Each command prints the reproduced table (the same rows the paper's
-figure plots) and exits 0.
+figure plots) and exits 0.  Under ``--verify`` every simulated event is
+additionally checked against the DMA-safety invariants
+(:mod:`repro.verify`); a violation aborts the run with a full event
+trace and exit code 1.
 """
 
 from __future__ import annotations
@@ -33,6 +38,8 @@ from .experiments import (
     fig12_ablation,
     model_fit,
 )
+from .verify import InvariantMonitor, InvariantViolation, monitored
+from .verify.lint import main as lint_main
 
 __all__ = ["main", "FIGURES"]
 
@@ -74,6 +81,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also append the reproduced table(s) to this file",
     )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "attach the DMA-safety invariant monitor to the run; "
+            "violations abort with a full event trace"
+        ),
+    )
     return parser
 
 
@@ -92,8 +107,34 @@ def _list_figures() -> str:
     return "\n".join(lines)
 
 
+def _run_figure(
+    name: str, scale, verify: bool, out_path: Optional[str]
+) -> int:
+    runner, _description = FIGURES[name]
+    if not verify:
+        _emit(runner(scale=scale).format(), out_path)
+        return 0
+    monitor = InvariantMonitor()
+    try:
+        with monitored(monitor):
+            result = runner(scale=scale)
+    except InvariantViolation as violation:
+        print(f"{name}: INVARIANT VIOLATION", file=sys.stderr)
+        print(violation.format_trace(), file=sys.stderr)
+        return 1
+    _emit(result.format(), out_path)
+    print(f"[verify] {name}: {monitor.summary()}")
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw and raw[0] == "lint":
+        return lint_main(raw[1:])
+    if raw and raw[0] == "run":
+        # ``repro run fig7 --verify`` is an alias for ``repro fig7``.
+        raw = raw[1:]
+    args = _build_parser().parse_args(raw)
     if args.figure == "list":
         print(_list_figures())
         return 0
@@ -107,9 +148,9 @@ def main(argv: Optional[list[str]] = None) -> int:
               file=sys.stderr)
         return 2
     for name in names:
-        runner, _description = FIGURES[name]
-        result = runner(scale=scale)
-        _emit(result.format(), args.out)
+        status = _run_figure(name, scale, args.verify, args.out)
+        if status:
+            return status
     return 0
 
 

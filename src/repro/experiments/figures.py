@@ -10,7 +10,7 @@ zero, what grows).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..analysis.locality import summarize_locality
 from ..analysis.model import ModelPoint, fit_l0_lm, model_error
@@ -107,7 +107,8 @@ def _sweep_iperf(
     scale: RunScale,
     **point_kwargs_fn,
 ) -> FigureResult:
-    result = FigureResult(figure_id, title, [x_name if h == "x" else h for h in IPERF_HEADERS])
+    headers = [x_name if h == "x" else h for h in IPERF_HEADERS]
+    result = FigureResult(figure_id, title, headers)
     for mode in modes:
         for x in x_values:
             kwargs = dict(point_kwargs_fn)

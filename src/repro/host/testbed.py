@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..net.packet import PacketKind
 from ..net.switch import SwitchPort
 from ..sim import Simulator
 from .config import HostConfig

@@ -23,6 +23,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..verify.events import (
+    FlushEvent,
+    InvalidationEvent,
+    PtCacheInvalidationEvent,
+)
+from ..verify.hooks import current_monitor
 from .iotlb import Iotlb
 from .ptcache import PtCacheHierarchy
 from .stats import IommuStats
@@ -62,6 +68,8 @@ class InvalidationQueue:
         self.trace = trace
         self.requests: list[InvalidationRequest] = []
         self.total_cpu_ns = 0.0
+        # Safety-invariant monitor (repro.verify); None in normal runs.
+        self.monitor = current_monitor()
 
     def invalidate_range(
         self, iova: int, length: int, preserve_ptcache: bool
@@ -81,6 +89,11 @@ class InvalidationQueue:
             self.requests.append(
                 InvalidationRequest(iova, length, preserve_ptcache)
             )
+        if self.monitor is not None:
+            self.monitor.record(
+                InvalidationEvent(iova, length, preserve_ptcache),
+                owner=id(self.iotlb),
+            )
         self.total_cpu_ns += self.cpu_cost_ns
         return self.cpu_cost_ns
 
@@ -93,6 +106,10 @@ class InvalidationQueue:
         """
         self.ptcaches.invalidate_range(iova, length)
         self.stats.ptcache_invalidation_requests += 1
+        if self.monitor is not None:
+            self.monitor.record(
+                PtCacheInvalidationEvent(iova, length), owner=id(self.iotlb)
+            )
         self.total_cpu_ns += self.cpu_cost_ns
         return self.cpu_cost_ns
 
@@ -102,5 +119,7 @@ class InvalidationQueue:
         self.ptcaches.flush()
         self.stats.invalidation_requests += 1
         self.stats.ptcache_invalidation_requests += 1
+        if self.monitor is not None:
+            self.monitor.record(FlushEvent(), owner=id(self.iotlb))
         self.total_cpu_ns += self.cpu_cost_ns
         return self.cpu_cost_ns

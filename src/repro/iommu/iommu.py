@@ -25,6 +25,13 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..mem.latency import DEFAULT_LM_NS, MemoryLatencyModel
+from ..verify.events import (
+    DmaFaultEvent,
+    MapEvent,
+    TranslateEvent,
+    UnmapEvent,
+)
+from ..verify.hooks import current_monitor
 from .invalidation import InvalidationQueue
 from .iotlb import Iotlb
 from .pagetable import IOPageTable
@@ -95,6 +102,8 @@ class Iommu:
 
     def __init__(self, config: IommuConfig | None = None) -> None:
         self.config = config or IommuConfig()
+        # Safety-invariant monitor (repro.verify); None in normal runs.
+        self.monitor = current_monitor()
         self.page_table = IOPageTable()
         self.iotlb = Iotlb(self.config.iotlb_entries, self.config.iotlb_ways)
         self.ptcaches = PtCacheHierarchy(
@@ -141,6 +150,11 @@ class Iommu:
                 self.config.check_stale_hits
                 and not self.page_table.is_mapped(iova)
             )
+            if self.monitor is not None:
+                self.monitor.record(
+                    TranslateEvent(iova, source, True, stale, frame),
+                    owner=id(self.iotlb),
+                )
             return TranslationResult(
                 frame=frame, iotlb_hit=True, memory_reads=0, stale=stale
             )
@@ -152,6 +166,10 @@ class Iommu:
         walk = self.page_table.walk(iova)
         if walk is None:
             stats.faults += 1
+            if self.monitor is not None:
+                self.monitor.record(
+                    DmaFaultEvent(iova, source), owner=id(self.iotlb)
+                )
             raise DmaFault(iova)
         stats.walks += 1
         if walk.huge:
@@ -172,6 +190,11 @@ class Iommu:
         for level in (1, 2, 3):
             if outcome.counted_misses[level]:
                 stats.ptcache_counted_misses[level] += 1
+        if self.monitor is not None:
+            self.monitor.record(
+                TranslateEvent(iova, source, False, False, walk.frame),
+                owner=id(self.iotlb),
+            )
         return TranslationResult(
             frame=walk.frame,
             iotlb_hit=False,
@@ -223,10 +246,36 @@ class Iommu:
     # ------------------------------------------------------------------
     def map_page(self, iova: int, frame: int) -> None:
         self.page_table.map_page(iova, frame)
+        if self.monitor is not None:
+            self.monitor.record(
+                MapEvent(iova, 1 << 12), owner=id(self.iotlb)
+            )
 
     def map_range(self, iova: int, frames: list[int]) -> None:
         self.page_table.map_range(iova, frames)
+        if self.monitor is not None:
+            self.monitor.record(
+                MapEvent(iova, len(frames) << 12), owner=id(self.iotlb)
+            )
+
+    def map_huge(self, iova: int, base_frame: int) -> None:
+        """Install a 2 MB leaf (see :meth:`IOPageTable.map_huge`)."""
+        self.page_table.map_huge(iova, base_frame)
+        if self.monitor is not None:
+            self.monitor.record(
+                MapEvent(iova, 1 << 21, huge=True), owner=id(self.iotlb)
+            )
 
     def unmap_range(self, iova: int, length: int):
         """Unmap a range in one operation; returns reclaimed PT pages."""
-        return self.page_table.unmap_range(iova, length)
+        reclaimed = self.page_table.unmap_range(iova, length)
+        if self.monitor is not None:
+            self.monitor.record(
+                UnmapEvent(
+                    iova,
+                    length,
+                    tuple(page.level for page in reclaimed),
+                ),
+                owner=id(self.iotlb),
+            )
+        return reclaimed

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..verify.events import IotlbEvictEvent
+from ..verify.hooks import current_monitor
 from .addr import PAGE_SHIFT
 
 __all__ = ["Iotlb"]
@@ -46,6 +48,8 @@ class Iotlb:
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        # Safety-invariant monitor (repro.verify); None in normal runs.
+        self.monitor = current_monitor()
 
     def _set_for(self, page_number: int) -> dict[int, int]:
         return self._sets[page_number % self.num_sets]
@@ -95,6 +99,10 @@ class Iotlb:
             oldest = next(iter(entry_set))
             del entry_set[oldest]
             self.evictions += 1
+            if self.monitor is not None:
+                self.monitor.record(
+                IotlbEvictEvent(oldest << PAGE_SHIFT), owner=id(self)
+            )
         entry_set[page_number] = frame
 
     def insert_huge(self, iova: int, base_frame: int) -> None:

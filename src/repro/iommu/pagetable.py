@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..verify.events import PtPageReclaimedEvent
+from ..verify.hooks import current_monitor
 from .addr import (
     ENTRIES_PER_PAGE,
     LEVEL_SHIFTS,
@@ -140,6 +142,8 @@ class IOPageTable:
         self.root = PageTablePage(level=1, base_iova=0)
         self.stats = PageTableStats()
         self._mapped_pages = 0
+        # Safety-invariant monitor (repro.verify); None in normal runs.
+        self.monitor = current_monitor()
 
     # ------------------------------------------------------------------
     # Mapping
@@ -351,6 +355,8 @@ class IOPageTable:
         reclaimed.append(
             ReclaimedPage(page.level, page.base_iova, page.coverage_bytes)
         )
+        if self.monitor is not None:
+            self.monitor.record(PtPageReclaimedEvent(page))
         self.stats.pages_reclaimed += 1
         self.stats.reclaims_by_level[page.level] += 1
         for child in page.entries.values():

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..verify.events import PtCacheHitEvent
+from ..verify.hooks import current_monitor
 from .addr import LEVEL_SHIFTS, ptcache_key
 
 __all__ = ["PtCache", "PtCacheHierarchy", "ProbeOutcome"]
@@ -46,6 +48,8 @@ class PtCache:
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        # Safety-invariant monitor (repro.verify); None in normal runs.
+        self.monitor = current_monitor()
 
     def lookup(self, iova: int) -> Optional[object]:
         """Probe for the PT page covering ``iova`` at this level."""
@@ -57,6 +61,8 @@ class PtCache:
         del self._entries[key]
         self._entries[key] = value
         self.hits += 1
+        if self.monitor is not None:
+            self.monitor.record(PtCacheHitEvent(self.level, iova, value))
         return value
 
     def contains(self, iova: int) -> bool:

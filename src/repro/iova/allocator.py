@@ -23,6 +23,8 @@ from __future__ import annotations
 from typing import Optional, Protocol
 
 from ..iommu.addr import IOVA_BITS, PAGE_SHIFT
+from ..verify.events import IovaAllocEvent, IovaFreeEvent
+from ..verify.hooks import current_monitor
 from .rbtree import IovaRange, IovaRbTree
 
 __all__ = [
@@ -83,6 +85,8 @@ class RbTreeIovaAllocator:
         self.tree_op_cost_ns = tree_op_cost_ns
         self.scan_step_cost_ns = scan_step_cost_ns
         self.trace = trace
+        # Safety-invariant monitor (repro.verify); None in normal runs.
+        self.monitor = current_monitor()
         self.cpu_ns_by_core: dict[int, float] = {}
         self.alloc_count = 0
         self.free_count = 0
@@ -132,6 +136,11 @@ class RbTreeIovaAllocator:
         iova = pfn_lo << PAGE_SHIFT
         if self.trace is not None:
             self.trace.append((iova, pages))
+        if self.monitor is not None:
+            self.monitor.record(
+                IovaAllocEvent(iova, pages, cpu, "rbtree"),
+                owner=id(self),
+            )
         return iova
 
     def _scan_down(
@@ -164,6 +173,11 @@ class RbTreeIovaAllocator:
 
     def free(self, iova: int, pages: int, cpu: int = 0) -> None:
         """Free a range previously returned by :meth:`alloc`."""
+        if self.monitor is not None:
+            self.monitor.record(
+                IovaFreeEvent(iova, pages, cpu, "rbtree"),
+                owner=id(self),
+            )
         pfn_lo = iova >> PAGE_SHIFT
         node = self.tree.find(pfn_lo)
         if node is None:

@@ -27,6 +27,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..iommu.addr import PAGE_SHIFT
+from ..verify.events import IovaAllocEvent, IovaFreeEvent
+from ..verify.hooks import current_monitor
 from .allocator import DEFAULT_LIMIT_PFN, RbTreeIovaAllocator
 
 __all__ = ["Magazine", "CachingIovaAllocator", "MAG_SIZE", "MAX_CACHED_ORDER"]
@@ -103,6 +105,8 @@ class CachingIovaAllocator:
         )
         self.cache_hit_cost_ns = cache_hit_cost_ns
         self.depot_cost_ns = depot_cost_ns
+        # Safety-invariant monitor (repro.verify); None in normal runs.
+        self.monitor = current_monitor()
         self._cpu_rcaches: list[list[_CpuRcache]] = [
             [_CpuRcache() for _ in range(MAX_CACHED_ORDER + 1)]
             for _ in range(num_cpus)
@@ -120,9 +124,14 @@ class CachingIovaAllocator:
     def _charge(self, cpu: int, cost_ns: float) -> None:
         self.cpu_ns_by_core[cpu] = self.cpu_ns_by_core.get(cpu, 0.0) + cost_ns
 
-    def _record(self, iova: int, pages: int) -> None:
+    def _record(self, iova: int, pages: int, cpu: int = 0) -> None:
         if self.trace is not None:
             self.trace.append((iova, pages))
+        if self.monitor is not None:
+            self.monitor.record(
+                IovaAllocEvent(iova, pages, cpu, "rcache"),
+                owner=id(self),
+            )
 
     # ------------------------------------------------------------------
     # Allocation
@@ -144,7 +153,7 @@ class CachingIovaAllocator:
                 self._charge(cpu, self.cache_hit_cost_ns)
                 self.cache_hits += 1
                 iova = pfn << PAGE_SHIFT
-                self._record(iova, pages)
+                self._record(iova, pages, cpu)
                 return iova
             if not rcache.prev.is_empty():
                 rcache.loaded, rcache.prev = rcache.prev, rcache.loaded
@@ -152,7 +161,7 @@ class CachingIovaAllocator:
                 self._charge(cpu, self.cache_hit_cost_ns)
                 self.cache_hits += 1
                 iova = pfn << PAGE_SHIFT
-                self._record(iova, pages)
+                self._record(iova, pages, cpu)
                 return iova
             depot = self._depot[order]
             if depot:
@@ -161,13 +170,13 @@ class CachingIovaAllocator:
                 self._charge(cpu, self.depot_cost_ns)
                 self.cache_hits += 1
                 iova = pfn << PAGE_SHIFT
-                self._record(iova, pages)
+                self._record(iova, pages, cpu)
                 return iova
         # Slow path: the rbtree (fresh address range, top-down).
         self.cache_misses += 1
         iova = self.rbtree.alloc(pages, cpu=cpu, align_pages=align_pages)
         self.cpu_ns_by_core[cpu] = self.cpu_ns_by_core.get(cpu, 0.0)
-        self._record(iova, pages)
+        self._record(iova, pages, cpu)
         return iova
 
     # ------------------------------------------------------------------
@@ -179,6 +188,11 @@ class CachingIovaAllocator:
         if not 0 <= cpu < self.num_cpus:
             raise ValueError(f"cpu {cpu} out of range")
         self.free_count += 1
+        if self.monitor is not None:
+            self.monitor.record(
+                IovaFreeEvent(iova, pages, cpu, "rcache"),
+                owner=id(self),
+            )
         order = _order_of(pages)
         if order is None:
             self.rbtree.free(iova, pages, cpu=cpu)

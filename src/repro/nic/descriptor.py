@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 __all__ = ["PageSlot", "RxDescriptor", "DEFAULT_DESCRIPTOR_PAGES"]
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from ..mem.latency import DEFAULT_L0_NS
 from ..sim import Simulator

@@ -24,9 +24,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any
 
 from ..nic.descriptor import RxDescriptor
+from ..verify.events import BufferRegisteredEvent, BufferRetiredEvent
+from ..verify.hooks import current_monitor
 
 __all__ = ["ProtectionDriver", "TxMapping", "DriverCosts"]
 
@@ -59,6 +61,60 @@ class ProtectionDriver(ABC):
     name: str = "base"
     #: whether the mode upholds the strict safety property
     strict_safety: bool = False
+
+    def __init__(self) -> None:
+        # Safety-invariant monitor (repro.verify); None in normal runs.
+        # Subclasses must call ``super().__init__()`` so the monitor can
+        # track which DMA buffers are live (invariant (d)).
+        self.monitor = current_monitor()
+
+    # ------------------------------------------------------------------
+    # Monitor notifications (no-ops when unmonitored)
+    # ------------------------------------------------------------------
+    def _monitor_owner(self) -> int:
+        # Buffer events must share a scope with the TranslateEvents they
+        # bound (invariant (d)), which the IOMMU emits under the id of
+        # its IOTLB.  Drivers without an IOMMU scope to themselves.
+        iommu = getattr(self, "iommu", None)
+        return id(iommu.iotlb) if iommu is not None else id(self)
+
+    def _notify_rx_mapped(self, descriptor: RxDescriptor) -> None:
+        if self.monitor is not None:
+            self.monitor.record(
+                BufferRegisteredEvent(
+                    "rx",
+                    tuple(slot.iova for slot in descriptor.slots),
+                    handle=descriptor.descriptor_id,
+                ),
+                owner=self._monitor_owner(),
+            )
+
+    def _notify_rx_retired(self, descriptor: RxDescriptor) -> None:
+        if self.monitor is not None:
+            self.monitor.record(
+                BufferRetiredEvent(
+                    "rx",
+                    tuple(slot.iova for slot in descriptor.slots),
+                    handle=descriptor.descriptor_id,
+                ),
+                owner=self._monitor_owner(),
+            )
+
+    def _notify_tx_mapped(self, mapping: "TxMapping") -> None:
+        if self.monitor is not None:
+            self.monitor.record(
+                BufferRegisteredEvent("tx", (mapping.iova,)),
+                owner=self._monitor_owner(),
+            )
+
+    def _notify_tx_retired(self, mappings: list["TxMapping"]) -> None:
+        if self.monitor is not None:
+            self.monitor.record(
+                BufferRetiredEvent(
+                    "tx", tuple(mapping.iova for mapping in mappings)
+                ),
+                owner=self._monitor_owner(),
+            )
 
     @abstractmethod
     def make_rx_descriptor(

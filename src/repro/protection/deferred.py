@@ -43,6 +43,7 @@ class DeferredDriver(ProtectionDriver):
         costs: Optional[DriverCosts] = None,
         allocation_trace: Optional[list[tuple[int, int]]] = None,
     ) -> None:
+        super().__init__()
         self.iommu = iommu
         self.physmem = physmem
         self.costs = costs or DriverCosts()
@@ -68,9 +69,12 @@ class DeferredDriver(ProtectionDriver):
             self.iommu.map_page(iova, frame)
             slots.append(PageSlot(iova=iova, frame=frame))
         cost += pages * self.costs.map_ns
-        return RxDescriptor(slots=slots, core=core), cost
+        descriptor = RxDescriptor(slots=slots, core=core)
+        self._notify_rx_mapped(descriptor)
+        return descriptor, cost
 
     def retire_rx_descriptor(self, descriptor: RxDescriptor, core: int) -> float:
+        self._notify_rx_retired(descriptor)
         cost = 0.0
         for slot in descriptor.slots:
             self.iommu.unmap_range(slot.iova, PAGE_SIZE)
@@ -84,9 +88,12 @@ class DeferredDriver(ProtectionDriver):
         frame = self.physmem.alloc_frame()
         iova = self.allocator.alloc(1, cpu=core)
         self.iommu.map_page(iova, frame)
-        return TxMapping(iova=iova, frame=frame), self.costs.map_ns
+        mapping = TxMapping(iova=iova, frame=frame)
+        self._notify_tx_mapped(mapping)
+        return mapping, self.costs.map_ns
 
     def retire_tx_pages(self, mappings, core: int) -> float:
+        self._notify_tx_retired(mappings)
         cost = 0.0
         for mapping in mappings:
             self.iommu.unmap_range(mapping.iova, PAGE_SIZE)

@@ -22,6 +22,7 @@ class PassthroughDriver(ProtectionDriver):
     strict_safety = False
 
     def __init__(self, physmem: PhysicalMemory) -> None:
+        super().__init__()
         self.physmem = physmem
 
     def make_rx_descriptor(self, core: int, pages: int):
@@ -29,18 +30,24 @@ class PassthroughDriver(ProtectionDriver):
         for _ in range(pages):
             frame = self.physmem.alloc_frame()
             slots.append(PageSlot(iova=frame << PAGE_SHIFT, frame=frame))
-        return RxDescriptor(slots=slots, core=core), 0.0
+        descriptor = RxDescriptor(slots=slots, core=core)
+        self._notify_rx_mapped(descriptor)
+        return descriptor, 0.0
 
     def retire_rx_descriptor(self, descriptor: RxDescriptor, core: int) -> float:
+        self._notify_rx_retired(descriptor)
         for slot in descriptor.slots:
             self.physmem.free_frame(slot.frame)
         return 0.0
 
     def map_tx_page(self, core: int):
         frame = self.physmem.alloc_frame()
-        return TxMapping(iova=frame << PAGE_SHIFT, frame=frame), 0.0
+        mapping = TxMapping(iova=frame << PAGE_SHIFT, frame=frame)
+        self._notify_tx_mapped(mapping)
+        return mapping, 0.0
 
     def retire_tx_pages(self, mappings, core: int) -> float:
+        self._notify_tx_retired(mappings)
         for mapping in mappings:
             self.physmem.free_frame(mapping.frame)
         return 0.0

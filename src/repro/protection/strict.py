@@ -71,6 +71,7 @@ class StrictFamilyDriver(ProtectionDriver):
             raise ValueError(
                 "hugepage descriptors need contiguous 512-page (2 MB) chunks"
             )
+        super().__init__()
         self.iommu = iommu
         self.physmem = physmem
         self.num_cpus = num_cpus
@@ -161,7 +162,7 @@ class StrictFamilyDriver(ProtectionDriver):
                 raise ValueError("hugepage descriptors are 512 pages (2 MB)")
             chunk = self.chunks.alloc_chunk(cpu=core)
             base_frame = self.physmem.alloc_huge()
-            self.iommu.page_table.map_huge(chunk.base_iova, base_frame)
+            self.iommu.map_huge(chunk.base_iova, base_frame)
             for index in range(pages):
                 slots.append(
                     PageSlot(
@@ -208,9 +209,11 @@ class StrictFamilyDriver(ProtectionDriver):
         descriptor = RxDescriptor(
             slots=slots, core=core, driver_data=driver_data
         )
+        self._notify_rx_mapped(descriptor)
         return descriptor, cost
 
     def retire_rx_descriptor(self, descriptor: RxDescriptor, core: int) -> float:
+        self._notify_rx_retired(descriptor)
         cost = 0.0
         probe = self._allocator_cost_around(core)
         if self.hugepages:
@@ -267,9 +270,12 @@ class StrictFamilyDriver(ProtectionDriver):
             cookie = None
         self.iommu.map_page(iova, frame)
         cost = probe.delta() + self.costs.map_ns
-        return TxMapping(iova=iova, frame=frame, cookie=cookie), cost
+        mapping = TxMapping(iova=iova, frame=frame, cookie=cookie)
+        self._notify_tx_mapped(mapping)
+        return mapping, cost
 
     def retire_tx_pages(self, mappings: list[TxMapping], core: int) -> float:
+        self._notify_tx_retired(mappings)
         cost = 0.0
         probe = self._allocator_cost_around(core)
         if self.contiguous_iova:

@@ -60,7 +60,9 @@ class Event:
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
+        # Exact float compare is intended: only *bitwise-equal* times
+        # fall through to the deterministic seq tie-break.
+        if self.time != other.time:  # noqa: REPRO003
             return self.time < other.time
         return self.seq < other.seq
 

@@ -22,7 +22,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from .engine import SimulationError, Simulator
 

@@ -1,0 +1,58 @@
+"""Mechanical verification of the reproduction's safety claims.
+
+Two halves:
+
+* the **runtime invariant checker** (:class:`InvariantMonitor`) — hooks
+  the IOMMU, its caches, the invalidation queue, the IOVA allocators
+  and the protection drivers through a zero-cost-when-disabled event
+  API and checks the paper's safety invariants per simulated event;
+* the **static lint pass** (:mod:`repro.verify.lint`, exposed as
+  ``python -m repro lint``) — AST rules that protect simulator
+  determinism and driver safety discipline.
+
+See ``README.md`` ("Verification") for the invariant catalogue.
+"""
+
+from .events import (
+    BufferRegisteredEvent,
+    BufferRetiredEvent,
+    DmaFaultEvent,
+    Event,
+    FlushEvent,
+    InvalidationEvent,
+    IotlbEvictEvent,
+    IovaAllocEvent,
+    IovaFreeEvent,
+    MapEvent,
+    PtCacheHitEvent,
+    PtCacheInvalidationEvent,
+    PtPageReclaimedEvent,
+    TranslateEvent,
+    UnmapEvent,
+)
+from .hooks import current_monitor, monitored, set_monitor
+from .monitor import InvariantMonitor
+from .violation import InvariantViolation
+
+__all__ = [
+    "InvariantMonitor",
+    "InvariantViolation",
+    "current_monitor",
+    "monitored",
+    "set_monitor",
+    "Event",
+    "MapEvent",
+    "UnmapEvent",
+    "InvalidationEvent",
+    "PtCacheInvalidationEvent",
+    "FlushEvent",
+    "TranslateEvent",
+    "DmaFaultEvent",
+    "PtCacheHitEvent",
+    "PtPageReclaimedEvent",
+    "IotlbEvictEvent",
+    "IovaAllocEvent",
+    "IovaFreeEvent",
+    "BufferRegisteredEvent",
+    "BufferRetiredEvent",
+]

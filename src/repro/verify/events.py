@@ -1,0 +1,265 @@
+"""Structured events emitted by instrumented simulator components.
+
+Every event is a small plain object.  The monitor receives them in
+emission order through :meth:`InvariantMonitor.record`; the most recent
+events form the trace attached to an
+:class:`~repro.verify.violation.InvariantViolation`.
+
+Events carry byte addresses (``iova``) and byte lengths; the monitor
+converts to 4 KB page numbers internally.  ``seq`` is stamped by the
+monitor when the event is recorded, not by the emitter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "Event",
+    "MapEvent",
+    "UnmapEvent",
+    "InvalidationEvent",
+    "PtCacheInvalidationEvent",
+    "FlushEvent",
+    "TranslateEvent",
+    "DmaFaultEvent",
+    "PtCacheHitEvent",
+    "PtPageReclaimedEvent",
+    "IotlbEvictEvent",
+    "IovaAllocEvent",
+    "IovaFreeEvent",
+    "BufferRegisteredEvent",
+    "BufferRetiredEvent",
+]
+
+
+class Event:
+    """Base class for all monitor events.
+
+    ``seq`` and ``owner`` are stamped by
+    :meth:`~repro.verify.monitor.InvariantMonitor.record`: ``seq`` is
+    the global emission order and ``owner`` scopes the event to one
+    instrumented instance (one IOMMU, one allocator), so several
+    independent address spaces can share a monitor without their state
+    bleeding together.
+    """
+
+    __slots__ = ("seq", "owner")
+
+    def __init__(self) -> None:
+        self.seq = -1
+        self.owner = 0
+
+    def touches(self, iova: int) -> bool:
+        """Whether this event concerns the page containing ``iova``."""
+        return False
+
+    def _describe(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} #{self.seq} {self._describe()}>"
+
+
+class _RangeEvent(Event):
+    """An event covering the IOVA byte range ``[iova, iova+length)``."""
+
+    __slots__ = ("iova", "length")
+
+    def __init__(self, iova: int, length: int) -> None:
+        super().__init__()
+        self.iova = iova
+        self.length = length
+
+    def touches(self, iova: int) -> bool:
+        first = self.iova >> 12
+        last = (self.iova + max(self.length, 1) - 1) >> 12
+        return first <= (iova >> 12) <= last
+
+    def _describe(self) -> str:
+        return f"iova={self.iova:#x} length={self.length:#x}"
+
+
+class MapEvent(_RangeEvent):
+    """Pages ``[iova, iova+length)`` were mapped in the IO page table."""
+
+    __slots__ = ("huge",)
+
+    def __init__(self, iova: int, length: int, huge: bool = False) -> None:
+        super().__init__(iova, length)
+        self.huge = huge
+
+
+class UnmapEvent(_RangeEvent):
+    """A single unmap operation cleared ``[iova, iova+length)``.
+
+    ``reclaimed_levels`` summarizes any page-table pages the operation
+    reclaimed (empty for descriptor-granularity unmaps).
+    """
+
+    __slots__ = ("reclaimed_levels",)
+
+    def __init__(
+        self, iova: int, length: int, reclaimed_levels: Tuple[int, ...] = ()
+    ) -> None:
+        super().__init__(iova, length)
+        self.reclaimed_levels = reclaimed_levels
+
+
+class InvalidationEvent(_RangeEvent):
+    """One invalidation-queue descriptor completed for the range."""
+
+    __slots__ = ("preserve_ptcache",)
+
+    def __init__(self, iova: int, length: int, preserve_ptcache: bool) -> None:
+        super().__init__(iova, length)
+        self.preserve_ptcache = preserve_ptcache
+
+
+class PtCacheInvalidationEvent(_RangeEvent):
+    """A PTcache-only invalidation (F&S's reclamation fallback)."""
+
+    __slots__ = ()
+
+
+class FlushEvent(Event):
+    """A global IOTLB + PTcache flush (deferred mode's batch retire)."""
+
+    __slots__ = ()
+
+    def touches(self, iova: int) -> bool:
+        return True
+
+
+class TranslateEvent(_RangeEvent):
+    """A translation *succeeded* for a device access at ``iova``."""
+
+    __slots__ = ("source", "iotlb_hit", "stale", "frame")
+
+    def __init__(
+        self, iova: int, source: str, iotlb_hit: bool, stale: bool, frame: int
+    ) -> None:
+        super().__init__(iova, 1)
+        self.source = source
+        self.iotlb_hit = iotlb_hit
+        self.stale = stale
+        self.frame = frame
+
+    def _describe(self) -> str:
+        return (
+            f"iova={self.iova:#x} source={self.source} "
+            f"hit={self.iotlb_hit} stale={self.stale}"
+        )
+
+
+class DmaFaultEvent(_RangeEvent):
+    """A translation faulted (the IOMMU blocked the access)."""
+
+    __slots__ = ("source",)
+
+    def __init__(self, iova: int, source: str) -> None:
+        super().__init__(iova, 1)
+        self.source = source
+
+
+class PtCacheHitEvent(_RangeEvent):
+    """A PTcache probe hit; ``page`` is the cached page-table page."""
+
+    __slots__ = ("level", "page")
+
+    def __init__(self, level: int, iova: int, page: Any) -> None:
+        super().__init__(iova, 1)
+        self.level = level
+        self.page = page
+
+    def _describe(self) -> str:
+        return f"level={self.level} iova={self.iova:#x} page={self.page!r}"
+
+
+class PtPageReclaimedEvent(Event):
+    """An unmap reclaimed one page-table page (``page`` is the object)."""
+
+    __slots__ = ("page",)
+
+    def __init__(self, page: Any) -> None:
+        super().__init__()
+        self.page = page
+
+    def touches(self, iova: int) -> bool:
+        page = self.page
+        return bool(
+            page.base_iova <= iova < page.base_iova + page.coverage_bytes
+        )
+
+    def _describe(self) -> str:
+        return repr(self.page)
+
+
+class IotlbEvictEvent(_RangeEvent):
+    """The IOTLB capacity-evicted a page's entry (not a safety event by
+    itself; kept in the trace to explain later misses)."""
+
+    __slots__ = ()
+
+    def __init__(self, iova: int) -> None:
+        super().__init__(iova, 1)
+
+
+class IovaAllocEvent(_RangeEvent):
+    """The allocator handed out ``pages`` IOVA pages at ``iova``.
+
+    ``layer`` names the allocator that emitted the event ("rcache" for
+    the user-visible caching front, "rbtree" for direct slow-path use)
+    so the monitor books each layer's outstanding set separately (a
+    cached free parks in a magazine while staying allocated in the
+    rbtree, so the two layers legitimately disagree).
+    """
+
+    __slots__ = ("pages", "cpu", "layer")
+
+    def __init__(self, iova: int, pages: int, cpu: int, layer: str) -> None:
+        super().__init__(iova, pages << 12)
+        self.pages = pages
+        self.cpu = cpu
+        self.layer = layer
+
+    def _describe(self) -> str:
+        return f"iova={self.iova:#x} pages={self.pages} layer={self.layer}"
+
+
+class IovaFreeEvent(IovaAllocEvent):
+    """The allocator was asked to free ``pages`` IOVA pages at ``iova``."""
+
+    __slots__ = ()
+
+
+class BufferRegisteredEvent(Event):
+    """A protection driver mapped a DMA buffer the device may target.
+
+    ``kind`` is "rx" (descriptor page slots) or "tx" (socket-buffer
+    pages); ``iovas`` lists the page-aligned IOVAs of every 4 KB page in
+    the buffer; ``handle`` identifies the buffer for retirement.
+    """
+
+    __slots__ = ("kind", "iovas", "handle")
+
+    def __init__(
+        self, kind: str, iovas: Tuple[int, ...], handle: Optional[int] = None
+    ) -> None:
+        super().__init__()
+        self.kind = kind
+        self.iovas = iovas
+        self.handle = handle
+
+    def touches(self, iova: int) -> bool:
+        page = iova >> 12
+        return any((base >> 12) == page for base in self.iovas)
+
+    def _describe(self) -> str:
+        return f"kind={self.kind} pages={len(self.iovas)} handle={self.handle}"
+
+
+class BufferRetiredEvent(BufferRegisteredEvent):
+    """The driver retired (unmapped/freed) a previously registered buffer."""
+
+    __slots__ = ()

@@ -1,0 +1,51 @@
+"""Global monitor registration: how instrumented modules find the monitor.
+
+Instrumented classes (:class:`~repro.iommu.Iommu`, the caches, the IOVA
+allocators, the protection drivers) read :func:`current_monitor` once at
+construction time and keep the result in a ``monitor`` attribute.  Every
+emission site is guarded by ``if self.monitor is not None``, so with no
+monitor installed the instrumentation costs one attribute load and a
+pointer comparison — nothing is allocated and no event objects exist,
+keeping benchmark numbers unaffected.
+
+This module is a leaf: it must not import anything from ``repro`` so
+that every instrumented module can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .monitor import InvariantMonitor
+
+__all__ = ["current_monitor", "set_monitor", "monitored"]
+
+_MONITOR: Optional["InvariantMonitor"] = None
+
+
+def current_monitor() -> Optional["InvariantMonitor"]:
+    """The globally installed monitor, or ``None`` (the fast default)."""
+    return _MONITOR
+
+
+def set_monitor(monitor: Optional["InvariantMonitor"]) -> None:
+    """Install ``monitor`` globally; new instrumented objects attach to it."""
+    global _MONITOR
+    _MONITOR = monitor
+
+
+@contextlib.contextmanager
+def monitored(monitor: "InvariantMonitor") -> Iterator["InvariantMonitor"]:
+    """Install ``monitor`` for the duration of a ``with`` block.
+
+    Objects constructed inside the block (hosts, drivers, IOMMUs) attach
+    themselves to the monitor; objects constructed outside are untouched.
+    """
+    previous = current_monitor()
+    set_monitor(monitor)
+    try:
+        yield monitor
+    finally:
+        set_monitor(previous)

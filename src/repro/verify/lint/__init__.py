@@ -1,0 +1,27 @@
+"""Simulation-determinism lint pass (``python -m repro lint``).
+
+A small AST-based static checker that enforces the repo's determinism
+and DMA-safety coding rules on ``src/repro/``:
+
+* **REPRO001** — no wall-clock or module-level RNG inside the
+  simulator: ``time.time()``, ``datetime.now()``, ``random.random()``
+  and friends make runs irreproducible.  Use
+  :class:`repro.sim.SeededRng` instead.
+* **REPRO002** — no iteration over ``set``/``dict`` values where the
+  order feeds event scheduling; set ordering depends on
+  ``PYTHONHASHSEED``.
+* **REPRO003** — no float ``==``/``!=`` comparisons on simulated
+  timestamps; accumulate in integers or compare with a tolerance.
+* **REPRO004** — every ``ProtectionDriver`` subclass that unmaps
+  (calls ``unmap_range``/``unmap_page``) must also enqueue an IOTLB
+  invalidation (``invalidate_range``/``flush_all``) somewhere in the
+  class, or it silently leaves stale translations live.
+
+Any line can opt out with ``# noqa: REPROxxx`` (or a bare ``# noqa``).
+"""
+
+from __future__ import annotations
+
+from .engine import Finding, lint_paths, main
+
+__all__ = ["Finding", "lint_paths", "main"]

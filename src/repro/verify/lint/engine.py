@@ -1,0 +1,310 @@
+"""AST walker and rule engine behind ``python -m repro lint``."""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+__all__ = ["Finding", "lint_source", "lint_paths", "main"]
+
+# ---------------------------------------------------------------------------
+# REPRO001: wall-clock / module-level RNG calls
+# ---------------------------------------------------------------------------
+# ``module attr`` pairs that make a simulation irreproducible.  The
+# class ``random.Random`` is deliberately absent: repro.sim.rng wraps it
+# with a stable seed, which is the sanctioned way in.
+_WALLCLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+_RANDOM_MODULE_FUNCS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "seed",
+    "getrandbits",
+    "expovariate",
+    "gauss",
+    "normalvariate",
+    "betavariate",
+    "triangular",
+    "vonmisesvariate",
+}
+
+# REPRO002: constructs whose iteration order is hash-seed dependent.
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+_SET_METHODS = {"intersection", "union", "difference", "symmetric_difference"}
+_ORDERING_SINKS = {"sorted"}
+
+# REPRO003: identifier fragments that mark a simulated-clock value.
+_TIMESTAMP_HINTS = ("time", "timestamp", "deadline", "now_ns", "clock")
+
+# REPRO004: method names on either side of the unmap/invalidate pact.
+_UNMAP_CALLS = {"unmap_range", "unmap_page"}
+_INVALIDATE_CALLS = {
+    "invalidate_range",
+    "invalidate_ptcache_range",
+    "flush_all",
+    "flush",
+}
+_DRIVER_BASE_HINT = "Driver"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, formatted as ``path:line:col CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+
+def _noqa_codes(line: str) -> Optional[set[str]]:
+    """Return the codes silenced on ``line`` (empty set = silence all)."""
+    marker = "# noqa"
+    idx = line.find(marker)
+    if idx < 0:
+        return None
+    rest = line[idx + len(marker):].strip()
+    if rest.startswith(":"):
+        return {code.strip() for code in rest[1:].split(",") if code.strip()}
+    return set()
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` attribute chains as a string, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[Finding] = []
+
+    # -- helpers --------------------------------------------------------
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, node.lineno, node.col_offset, code, message)
+        )
+
+    # -- REPRO001 -------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if len(parts) >= 2:
+                mod, attr = parts[-2], parts[-1]
+                if (mod, attr) in _WALLCLOCK_CALLS:
+                    self._add(
+                        node,
+                        "REPRO001",
+                        f"wall-clock call {dotted}() breaks determinism; "
+                        "use simulated time",
+                    )
+                elif mod == "random" and attr in _RANDOM_MODULE_FUNCS:
+                    self._add(
+                        node,
+                        "REPRO001",
+                        f"module-level RNG {dotted}() breaks determinism; "
+                        "use repro.sim.SeededRng",
+                    )
+        self.generic_visit(node)
+
+    # -- REPRO002 -------------------------------------------------------
+    def _is_unordered_iterable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SET_CONSTRUCTORS:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+            ):
+                return True
+        return False
+
+    def _check_iteration(self, iterable: ast.AST) -> None:
+        # sorted(set(...)) pins the order, so only a *bare* unordered
+        # iterable is a problem.
+        if self._is_unordered_iterable(iterable):
+            self._add(
+                iterable,
+                "REPRO002",
+                "iteration over a set has PYTHONHASHSEED-dependent order; "
+                "wrap in sorted() or iterate a list",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for comp in getattr(node, "generators", []):
+            self._check_iteration(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- REPRO003 -------------------------------------------------------
+    def _looks_like_timestamp(self, node: ast.AST) -> bool:
+        name: Optional[str] = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is None:
+            return False
+        lowered = name.lower()
+        return any(hint in lowered for hint in _TIMESTAMP_HINTS)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side, other in ((left, right), (right, left)):
+                if self._looks_like_timestamp(side) and not isinstance(
+                    other, (ast.Constant,)
+                ):
+                    self._add(
+                        node,
+                        "REPRO003",
+                        "float equality on a simulated timestamp is "
+                        "brittle; compare with a tolerance or use "
+                        "integer ticks",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- REPRO004 -------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        base_names = [
+            name
+            for base in node.bases
+            if (name := _dotted(base)) is not None
+        ]
+        is_driver = any(
+            base.split(".")[-1].endswith(_DRIVER_BASE_HINT)
+            for base in base_names
+        )
+        if is_driver:
+            # The union of calls across all methods is the transitive
+            # closure over self-method calls within the class: if any
+            # method reachable from an unmap site invalidates, the
+            # invalidating call appears in this set.
+            calls = {
+                called.attr
+                for called in ast.walk(node)
+                if isinstance(called, ast.Attribute)
+            }
+            unmaps = calls & _UNMAP_CALLS
+            if unmaps and not (calls & _INVALIDATE_CALLS):
+                self._add(
+                    node,
+                    "REPRO004",
+                    f"driver class {node.name} unmaps "
+                    f"({', '.join(sorted(unmaps))}) but never enqueues "
+                    "an IOTLB invalidation; stale translations survive",
+                )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str) -> list[Finding]:
+    """Lint one module's source text; returns surviving findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path,
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                "REPRO000",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    visitor = _Visitor(path)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    kept = []
+    for finding in visitor.findings:
+        line = lines[finding.line - 1] if finding.line <= len(lines) else ""
+        silenced = _noqa_codes(line)
+        if silenced is not None and (not silenced or finding.code in silenced):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Sequence[str]) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for file in _iter_python_files(paths):
+        findings.extend(
+            lint_source(file.read_text(encoding="utf-8"), str(file))
+        )
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = list(argv) if argv is not None else sys.argv[1:]
+    if not args:
+        args = ["src/repro"]
+    missing = [raw for raw in args if not Path(raw).exists()]
+    if missing:
+        # A typo'd path must not pass vacuously (CI would go green
+        # while linting nothing).
+        for raw in missing:
+            print(f"error: no such file or directory: {raw}",
+                  file=sys.stderr)
+        return 2
+    findings = lint_paths(args)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} lint finding(s)")
+        return 1
+    return 0

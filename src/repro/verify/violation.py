@@ -1,0 +1,54 @@
+"""The structured safety-violation error raised by the monitor."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .events import Event
+
+__all__ = ["InvariantViolation"]
+
+
+class InvariantViolation(AssertionError):
+    """A checked safety invariant was broken by a simulated event.
+
+    Attributes
+    ----------
+    kind:
+        Machine-readable invariant id: ``"use-after-unmap"``,
+        ``"stale-ptcache"``, ``"iova-overlap"``, ``"iova-bad-free"`` or
+        ``"dma-out-of-bounds"``.
+    event:
+        The event that triggered the violation.
+    trace:
+        The monitor's recent event history (oldest first), ending with
+        the violating event.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        message: str,
+        event: Event,
+        trace: List[Event],
+    ) -> None:
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+        self.event = event
+        self.trace = trace
+
+    def events_touching(self, iova: Optional[int] = None) -> List[Event]:
+        """Trace events that concern ``iova`` (default: the violating
+        event's page), oldest first — the per-address causal history."""
+        if iova is None:
+            iova = getattr(self.event, "iova", None)
+        if iova is None:
+            return list(self.trace)
+        return [event for event in self.trace if event.touches(iova)]
+
+    def format_trace(self, iova: Optional[int] = None) -> str:
+        """Human-readable rendering of the (filtered) event trace."""
+        lines = [str(self)]
+        for event in self.events_touching(iova):
+            lines.append(f"  {event!r}")
+        return "\n".join(lines)

@@ -1,8 +1,11 @@
 """Tests for deterministic, stably-seeded randomness."""
 
+import os
+import pathlib
 import subprocess
 import sys
 
+import repro
 from repro.sim import SeededRng
 
 
@@ -39,13 +42,23 @@ def test_stable_across_processes():
         "r = SeededRng(42, 'allocator-aging');"
         "print([r.randint(0, 1000) for _ in range(5)])"
     )
+    # The subprocess starts with a clean environment, so it needs an
+    # explicit PYTHONPATH pointing at the package actually under test
+    # (the parent of the imported ``repro``) to import it at all.
+    src_dir = str(pathlib.Path(repro.__file__).resolve().parents[1])
     outputs = set()
     for hash_seed in ("0", "12345"):
         result = subprocess.run(
             [sys.executable, "-c", code],
             capture_output=True,
             text=True,
-            env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+            env={
+                "PYTHONHASHSEED": hash_seed,
+                "PATH": "/usr/bin:/bin",
+                "PYTHONPATH": src_dir + os.pathsep + os.environ.get(
+                    "PYTHONPATH", ""
+                ),
+            },
         )
         assert result.returncode == 0, result.stderr
         outputs.add(result.stdout.strip())

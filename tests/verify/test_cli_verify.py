@@ -1,0 +1,48 @@
+"""CLI wiring for ``repro lint`` and ``repro run --verify``."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import settings
+
+
+@pytest.fixture(autouse=True)
+def fast_quick(monkeypatch):
+    """Shrink the quick scale so the verified runs stay fast."""
+    micro = settings.RunScale(
+        name="micro",
+        warmup_ns=800_000.0,
+        measure_ns=1_500_000.0,
+        latency_measure_ns=3_000_000.0,
+    )
+    monkeypatch.setattr("repro.cli.QUICK", micro)
+
+
+def test_run_alias(capsys):
+    assert main(["run", "fig12"]) == 0
+    assert "Fig 12" in capsys.readouterr().out
+
+
+def test_run_with_verify_attaches_monitor(capsys):
+    # Fig 12 exercises every strict-family configuration; under
+    # --verify each runs with the invariant monitor attached and must
+    # complete violation-free.
+    assert main(["run", "fig12", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "[verify] fig12:" in out
+    assert "0 violations" in out
+    assert "translations checked" in out
+
+
+def test_lint_subcommand_clean_tree(capsys):
+    import repro
+
+    src_pkg = repro.__file__.rsplit("/", 1)[0]
+    assert main(["lint", src_pkg]) == 0
+
+
+def test_lint_subcommand_reports_findings(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nstamp = time.time()\n")
+    assert main(["lint", str(bad)]) == 1
+    assert "REPRO001" in capsys.readouterr().out

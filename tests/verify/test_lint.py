@@ -1,0 +1,208 @@
+"""Tests for the determinism/safety lint pass (``repro.verify.lint``)."""
+
+import textwrap
+
+from repro.verify.lint import lint_paths
+from repro.verify.lint.engine import lint_source, main
+
+
+def lint(code):
+    return lint_source(textwrap.dedent(code), "example.py")
+
+
+def codes(code):
+    return [finding.code for finding in lint(code)]
+
+
+# ---------------------------------------------------------------------------
+# REPRO001: wall-clock / module-level RNG
+# ---------------------------------------------------------------------------
+def test_wallclock_calls_flagged():
+    assert codes("""
+        import time
+        def now():
+            return time.time()
+    """) == ["REPRO001"]
+    assert codes("""
+        from datetime import datetime
+        stamp = datetime.now()
+    """) == ["REPRO001"]
+
+
+def test_module_level_rng_flagged():
+    assert codes("""
+        import random
+        def pick(items):
+            return random.choice(items)
+    """) == ["REPRO001"]
+
+
+def test_seeded_rng_allowed():
+    # random.Random is the sanctioned seam repro.sim.SeededRng wraps.
+    assert codes("""
+        import random
+        def make(seed):
+            return random.Random(seed)
+    """) == []
+
+
+def test_simulated_time_allowed():
+    assert codes("""
+        def now(sim):
+            return sim.now
+    """) == []
+
+
+# ---------------------------------------------------------------------------
+# REPRO002: hash-ordered iteration
+# ---------------------------------------------------------------------------
+def test_set_iteration_flagged():
+    assert codes("""
+        def schedule(flows):
+            for flow in set(flows):
+                flow.start()
+    """) == ["REPRO002"]
+    assert codes("""
+        def drain(pending):
+            return [retire(entry) for entry in {p.key for p in pending}]
+    """) == ["REPRO002"]
+
+
+def test_sorted_set_iteration_allowed():
+    assert codes("""
+        def schedule(flows):
+            for flow in sorted(set(flows)):
+                flow.start()
+    """) == []
+
+
+def test_list_iteration_allowed():
+    assert codes("""
+        def schedule(flows):
+            for flow in flows:
+                flow.start()
+    """) == []
+
+
+# ---------------------------------------------------------------------------
+# REPRO003: float equality on simulated timestamps
+# ---------------------------------------------------------------------------
+def test_timestamp_equality_flagged():
+    assert codes("""
+        def racy(event, other):
+            return event.time == other.deadline
+    """) == ["REPRO003"]
+
+
+def test_timestamp_comparison_to_constant_allowed():
+    assert codes("""
+        def unset(event):
+            return event.time == 0
+    """) == []
+
+
+def test_ordering_comparison_allowed():
+    assert codes("""
+        def earlier(event, other):
+            return event.time < other.time
+    """) == []
+
+
+# ---------------------------------------------------------------------------
+# REPRO004: drivers that unmap without invalidating
+# ---------------------------------------------------------------------------
+BAD_DRIVER = """
+    class LeakyDriver(ProtectionDriver):
+        def retire(self, descriptor):
+            for slot in descriptor.slots:
+                self.iommu.unmap_range(slot.iova, 4096)
+"""
+
+GOOD_DRIVER = """
+    class SafeDriver(ProtectionDriver):
+        def retire(self, descriptor):
+            for slot in descriptor.slots:
+                self.iommu.unmap_range(slot.iova, 4096)
+                self._invalidate(slot.iova)
+        def _invalidate(self, iova):
+            self.iommu.invalidation_queue.invalidate_range(iova, 4096, False)
+"""
+
+
+def test_unmap_without_invalidation_flagged():
+    assert codes(BAD_DRIVER) == ["REPRO004"]
+
+
+def test_unmap_with_invalidation_allowed():
+    # The invalidation lives in a helper method: the class-wide call-set
+    # closure must see it.
+    assert codes(GOOD_DRIVER) == []
+
+
+def test_non_driver_classes_ignored():
+    assert codes("""
+        class PageTableShim:
+            def drop(self, iova):
+                self.table.unmap_range(iova, 4096)
+    """) == []
+
+
+# ---------------------------------------------------------------------------
+# noqa + engine mechanics
+# ---------------------------------------------------------------------------
+def test_noqa_silences_matching_code():
+    assert codes("""
+        import time
+        def now():
+            return time.time()  # noqa: REPRO001
+    """) == []
+
+
+def test_noqa_with_other_code_does_not_silence():
+    assert codes("""
+        import time
+        def now():
+            return time.time()  # noqa: REPRO002
+    """) == ["REPRO001"]
+
+
+def test_bare_noqa_silences_everything():
+    assert codes("""
+        import time
+        def now():
+            return time.time()  # noqa
+    """) == []
+
+
+def test_syntax_error_reported_not_crashed():
+    assert codes("def broken(:\n    pass") == ["REPRO000"]
+
+
+def test_finding_format_is_parseable():
+    finding = lint("""
+        import time
+        t = time.time()
+    """)[0]
+    path, line, rest = finding.format().split(":", 2)
+    assert path == "example.py"
+    assert int(line) == 3
+    assert "REPRO001" in rest
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    assert main([str(clean)]) == 0
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "REPRO001" in out
+    assert "dirty.py" in out
+
+
+def test_repo_source_tree_is_clean():
+    import repro
+
+    src = repro.__file__.rsplit("/", 2)[0]
+    assert lint_paths([src + "/repro"]) == []
