@@ -23,14 +23,25 @@ def run_iperf(
     warmup_ns: float = 3_000_000.0,
     measure_ns: float = 10_000_000.0,
     config: Optional[HostConfig] = None,
+    strict_until: bool = False,
+    watchdog_interval_ns: Optional[float] = None,
     **config_overrides,
 ) -> TestbedResult:
-    """Run one iperf point; returns the testbed measurement."""
+    """Run one iperf point; returns the testbed measurement.
+
+    ``strict_until`` and ``watchdog_interval_ns`` harden the run
+    against dead workloads and deadlocks (see :mod:`repro.sim`); the
+    fault-sweep experiment enables both.
+    """
     if config is None:
         config = HostConfig.cascade_lake(mode=mode, **config_overrides)
-    testbed = Testbed(config)
+    testbed = Testbed(config, watchdog_interval_ns=watchdog_interval_ns)
     testbed.add_rx_flows(flows)
-    return testbed.run(warmup_ns=warmup_ns, measure_ns=measure_ns)
+    return testbed.run(
+        warmup_ns=warmup_ns,
+        measure_ns=measure_ns,
+        strict_until=strict_until,
+    )
 
 
 def run_bidirectional_iperf(

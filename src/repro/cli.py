@@ -9,6 +9,8 @@ Usage::
     python -m repro all                  # every figure, quick scale
     python -m repro run fig7 --verify    # run with the invariant monitor
     python -m repro lint src/            # determinism/safety lint pass
+    python -m repro faults --seed 2      # fault sweep (safety under faults)
+    python -m repro run fig7 --faults plan.json --verify
 
 Each command prints the reproduced table (the same rows the paper's
 figure plots) and exits 0.  Under ``--verify`` every simulated event is
@@ -20,12 +22,14 @@ trace and exit code 1.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Callable, Optional
 
 from .experiments import (
     FULL,
     QUICK,
+    fault_sweep,
     fig2_flows,
     fig3_ring,
     fig7_fns_flows,
@@ -38,6 +42,7 @@ from .experiments import (
     fig12_ablation,
     model_fit,
 )
+from .faults import FaultPlan, faulted
 from .verify import InvariantMonitor, InvariantViolation, monitored
 from .verify.lint import main as lint_main
 
@@ -55,6 +60,7 @@ FIGURES: dict[str, tuple[Callable, str]] = {
     "fig11b": (fig11_nginx, "Nginx throughput"),
     "fig11c": (fig11_spdk, "SPDK remote read throughput"),
     "fig12": (fig12_ablation, "Ablation: each F&S idea is necessary"),
+    "faults": (fault_sweep, "Fault sweep: throughput degrades, safety holds"),
 }
 
 
@@ -89,6 +95,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "violations abort with a full event trace"
         ),
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=None,
+        help=(
+            "JSON fault-plan file (repro.faults.FaultPlan) to inject "
+            "during the run; combine with --verify to check safety"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fault-plan seed for the built-in 'faults' sweep",
+    )
     return parser
 
 
@@ -108,15 +130,40 @@ def _list_figures() -> str:
 
 
 def _run_figure(
-    name: str, scale, verify: bool, out_path: Optional[str]
+    name: str,
+    scale,
+    verify: bool,
+    out_path: Optional[str],
+    seed: int = 1,
+    plan: Optional[FaultPlan] = None,
 ) -> int:
     runner, _description = FIGURES[name]
+    if name == "faults":
+        # The sweep runs every row under its own monitor (safety is
+        # the experiment); --verify only changes the summary line.
+        try:
+            result = runner(scale=scale, seed=seed, plan=plan)
+        except InvariantViolation as violation:
+            print(f"{name}: INVARIANT VIOLATION", file=sys.stderr)
+            print(violation.format_trace(), file=sys.stderr)
+            return 1
+        _emit(result.format(), out_path)
+        if verify:
+            total = sum(row[-1] for row in result.rows)
+            print(
+                f"[verify] faults: {total} violations across "
+                f"{len(result.rows)} rows"
+            )
+        return 0
+    inject = faulted(plan) if plan is not None else contextlib.nullcontext()
     if not verify:
-        _emit(runner(scale=scale).format(), out_path)
+        with inject:
+            result = runner(scale=scale)
+        _emit(result.format(), out_path)
         return 0
     monitor = InvariantMonitor()
     try:
-        with monitored(monitor):
+        with monitored(monitor), inject:
             result = runner(scale=scale)
     except InvariantViolation as violation:
         print(f"{name}: INVARIANT VIOLATION", file=sys.stderr)
@@ -139,6 +186,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(_list_figures())
         return 0
     scale = FULL if args.full else QUICK
+    plan: Optional[FaultPlan] = None
+    if args.faults is not None:
+        try:
+            plan = FaultPlan.from_file(args.faults)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"bad fault plan {args.faults!r}: {exc}", file=sys.stderr)
+            return 2
     if args.figure == "all":
         names = list(FIGURES)
     elif args.figure in FIGURES:
@@ -148,7 +202,9 @@ def main(argv: Optional[list[str]] = None) -> int:
               file=sys.stderr)
         return 2
     for name in names:
-        status = _run_figure(name, scale, args.verify, args.out)
+        status = _run_figure(
+            name, scale, args.verify, args.out, seed=args.seed, plan=plan
+        )
         if status:
             return status
     return 0

@@ -1,5 +1,6 @@
 """Experiment runners: one per paper figure, plus run-scale presets."""
 
+from .faultsweep import fault_sweep, sweep_plans
 from .figures import (
     FigureResult,
     fig2_flows,
@@ -29,6 +30,8 @@ __all__ = [
     "fig11_nginx",
     "fig11_spdk",
     "fig12_ablation",
+    "fault_sweep",
+    "sweep_plans",
     "RunScale",
     "QUICK",
     "FULL",

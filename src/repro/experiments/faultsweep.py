@@ -1,0 +1,222 @@
+"""The fault sweep: every injector family vs. the safety bar.
+
+One iperf baseline plus one row per fault family, each run under its
+own :class:`~repro.verify.InvariantMonitor` (a violation aborts the
+sweep — that is the acceptance bar: faults may cost throughput, never
+safety).  Rows report goodput, drops, the hardened drivers' recovery
+work (retries, degraded flushes) and the number of injected faults, so
+the table *shows* the throughput-for-safety trade.
+
+Runs are hardened themselves: ``strict_until`` turns a dead workload
+into an error instead of a zero row, and the simulator watchdog
+converts a deadlock into a pending-event trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..apps.iperf import run_iperf
+from ..faults import FaultPlan, FaultSpec, faulted
+from ..verify import InvariantMonitor, monitored
+from .figures import FigureResult
+from .settings import FULL, RunScale
+
+__all__ = ["fault_sweep", "sweep_plans"]
+
+FAULTS_HEADERS = [
+    "fault",
+    "gbps",
+    "drop%",
+    "retries",
+    "degraded",
+    "faults",
+    "violations",
+]
+
+# Windowed faults open shortly after warm-up traffic is flowing; the
+# offsets are fractions of the warm-up so the sweep scales with
+# QUICK/FULL.
+_WATCHDOG_INTERVAL_NS = 2_000_000.0
+
+
+def sweep_plans(
+    seed: int, scale: RunScale = FULL
+) -> list[tuple[str, FaultPlan]]:
+    """One representative plan per injector family."""
+    open_ns = 0.5 * scale.warmup_ns
+    horizon = scale.warmup_ns + scale.measure_ns
+    flap_start = scale.warmup_ns + 0.1 * scale.measure_ns
+    flap_end = flap_start + 0.1 * scale.measure_ns
+    stall_start = scale.warmup_ns + 0.2 * scale.measure_ns
+    stall_end = stall_start + 0.15 * scale.measure_ns
+    return [
+        (
+            "invalidation",
+            FaultPlan(
+                seed=seed,
+                name="invalidation",
+                specs=(
+                    FaultSpec(
+                        "invalidation",
+                        "drop-completion",
+                        open_ns,
+                        horizon,
+                        probability=0.25,
+                    ),
+                    FaultSpec(
+                        "invalidation",
+                        "partial-completion",
+                        open_ns,
+                        horizon,
+                        probability=0.25,
+                    ),
+                    FaultSpec(
+                        "invalidation",
+                        "delay-completion",
+                        open_ns,
+                        horizon,
+                        probability=0.5,
+                        magnitude=2_000.0,
+                    ),
+                ),
+            ),
+        ),
+        (
+            "pcie",
+            FaultPlan(
+                seed=seed,
+                name="pcie",
+                specs=(
+                    FaultSpec("pcie", "link-flap", flap_start, flap_end),
+                    FaultSpec(
+                        "pcie",
+                        "lane-loss",
+                        stall_end,
+                        horizon,
+                        magnitude=2.0,
+                    ),
+                    FaultSpec(
+                        "pcie",
+                        "nack-replay",
+                        open_ns,
+                        horizon,
+                        probability=0.2,
+                        magnitude=2_000.0,
+                    ),
+                ),
+            ),
+        ),
+        (
+            "nic",
+            FaultPlan(
+                seed=seed,
+                name="nic",
+                specs=(
+                    FaultSpec("nic", "ring-stall", stall_start, stall_end),
+                    FaultSpec(
+                        "nic",
+                        "doorbell-drop",
+                        open_ns,
+                        horizon,
+                        probability=0.1,
+                        magnitude=100_000.0,
+                    ),
+                ),
+            ),
+        ),
+        (
+            "net",
+            FaultPlan(
+                seed=seed,
+                name="net",
+                specs=(
+                    FaultSpec(
+                        "net",
+                        "loss",
+                        open_ns,
+                        horizon,
+                        probability=0.005,
+                    ),
+                    FaultSpec(
+                        "net",
+                        "reorder",
+                        open_ns,
+                        horizon,
+                        probability=0.05,
+                        magnitude=10_000.0,
+                    ),
+                ),
+            ),
+        ),
+    ]
+
+
+def fault_sweep(
+    scale: RunScale = FULL,
+    seed: int = 1,
+    mode: str = "fns",
+    flows: int = 5,
+    plan: Optional[FaultPlan] = None,
+) -> FigureResult:
+    """Baseline + per-family fault rows, each under the monitor.
+
+    With ``plan`` given, sweeps only that plan (the CLI's ``--faults
+    plan.json`` path); otherwise the built-in per-family plans.
+    """
+    result = FigureResult(
+        "Faults",
+        f"fault sweep: {mode}, {flows} flows, seed {seed} "
+        "(safety bar: zero violations)",
+        FAULTS_HEADERS,
+        notes=(
+            "retries/degraded: hardened-driver recovery work; a "
+            "violation aborts the sweep"
+        ),
+    )
+    plans = (
+        [(plan.name, plan)]
+        if plan is not None
+        else sweep_plans(seed, scale)
+    )
+    for label, row_plan in [("none", None)] + plans:
+        monitor = InvariantMonitor()
+        with monitored(monitor):
+            if row_plan is None:
+                point = run_iperf(
+                    mode,
+                    flows=flows,
+                    warmup_ns=scale.warmup_ns,
+                    measure_ns=scale.measure_ns,
+                    strict_until=True,
+                    watchdog_interval_ns=_WATCHDOG_INTERVAL_NS,
+                )
+                injected = 0
+            else:
+                with faulted(row_plan) as runtime:
+                    point = run_iperf(
+                        mode,
+                        flows=flows,
+                        warmup_ns=scale.warmup_ns,
+                        measure_ns=scale.measure_ns,
+                        strict_until=True,
+                        watchdog_interval_ns=_WATCHDOG_INTERVAL_NS,
+                    )
+                injected = runtime.injected_faults
+                result.raw[label] = {
+                    "plan": row_plan,
+                    "timeline": runtime.timeline_text(),
+                    "point": point,
+                }
+        result.rows.append(
+            [
+                label,
+                round(point.rx_goodput_gbps, 2),
+                round(100 * point.drop_fraction, 3),
+                point.extras.get("invalidation_retries", 0),
+                point.extras.get("degraded_flushes", 0),
+                injected,
+                len(monitor.violations),
+            ]
+        )
+    return result

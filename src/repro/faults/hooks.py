@@ -1,0 +1,68 @@
+"""Global fault-runtime registration, mirroring :mod:`repro.verify.hooks`.
+
+Injection sites (:class:`~repro.iommu.invalidation.InvalidationQueue`,
+:class:`~repro.pcie.link.DmaPipeline`, the NIC, the switch ports) call
+:func:`injector_for` once at construction time and keep the result in a
+``faults`` attribute.  With no plan installed the call returns ``None``
+and every injection site reduces to one attribute load and a pointer
+comparison — fault support costs nothing in normal runs.
+
+This module is import-light on purpose: the runtime types are imported
+lazily inside functions so every instrumented module can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Iterator, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .injectors import ComponentInjector
+    from .plan import FaultPlan
+    from .runtime import FaultRuntime
+
+__all__ = ["current_faults", "set_faults", "faulted", "injector_for"]
+
+_RUNTIME: Optional["FaultRuntime"] = None
+
+
+def current_faults() -> Optional["FaultRuntime"]:
+    """The globally installed fault runtime, or ``None`` (the default)."""
+    return _RUNTIME
+
+
+def set_faults(runtime: Optional["FaultRuntime"]) -> None:
+    """Install ``runtime`` globally; new injection sites attach to it."""
+    global _RUNTIME
+    _RUNTIME = runtime
+
+
+def injector_for(component: str) -> Optional["ComponentInjector"]:
+    """The active injector for ``component``, or ``None`` (fast path)."""
+    runtime = current_faults()
+    if runtime is None:
+        return None
+    return runtime.injector(component)
+
+
+@contextlib.contextmanager
+def faulted(
+    plan: Union["FaultPlan", "FaultRuntime"],
+) -> Iterator["FaultRuntime"]:
+    """Install a fault plan for the duration of a ``with`` block.
+
+    Objects constructed inside the block (testbeds, queues, pipelines)
+    attach their injectors; objects constructed outside are untouched.
+    Accepts either a :class:`FaultPlan` (a fresh runtime is built) or a
+    prepared :class:`FaultRuntime`.
+    """
+    from .runtime import FaultRuntime
+
+    runtime = plan if isinstance(plan, FaultRuntime) else FaultRuntime(plan)
+    previous = current_faults()
+    set_faults(runtime)
+    try:
+        yield runtime
+    finally:
+        set_faults(previous)

@@ -1,0 +1,249 @@
+"""Per-component fault injectors.
+
+One injector instance per injection *site* (a queue, a pipeline, a
+port), created by :class:`~repro.faults.runtime.FaultRuntime` at site
+construction.  Injectors are consulted inline on the component's fast
+path and answer in plain floats/strings so that the components never
+import each other through this module (no cycles).
+
+Window-scoped kinds (link-flap, lane-loss, ring-stall) are recorded
+once per window per site; per-opportunity kinds (drops, NACKs, losses,
+reorders) are recorded at every occurrence, which is what makes the
+fault timeline a complete account of everything injected.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..sim.rng import SeededRng
+from .plan import FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import FaultRuntime
+
+__all__ = [
+    "ComponentInjector",
+    "InvalidationInjector",
+    "PcieInjector",
+    "NicInjector",
+    "NetInjector",
+    "INJECTOR_TYPES",
+]
+
+# Default magnitudes, applied when a spec leaves magnitude at 0.0.
+DEFAULT_PARTIAL_FRACTION = 0.5
+DEFAULT_DELAY_FACTOR = 4.0  # x the queue's per-descriptor CPU cost
+DEFAULT_WIRE_SLOWDOWN = 2.0  # half the PCIe lanes remaining
+DEFAULT_REPLAY_PENALTY_NS = 1_000.0
+DEFAULT_DOORBELL_DELAY_NS = 50_000.0
+DEFAULT_REORDER_DELAY_NS = 10_000.0
+
+
+class ComponentInjector:
+    """Shared spec-window and RNG plumbing for one injection site."""
+
+    component = "base"
+
+    def __init__(
+        self,
+        runtime: "FaultRuntime",
+        specs: tuple[FaultSpec, ...],
+        rng: SeededRng,
+        site: int = 0,
+    ) -> None:
+        self.runtime = runtime
+        self.specs = specs
+        self.rng = rng
+        self.site = site
+        # Window-kind announcements already made: spec index -> True.
+        self._announced: dict[int, bool] = {}
+
+    # -- helpers --------------------------------------------------------
+    def _now(self) -> float:
+        return self.runtime.now()
+
+    def _active(self, kind: str) -> Optional[FaultSpec]:
+        """The first spec of ``kind`` whose window covers now."""
+        now = self._now()
+        for spec in self.specs:
+            if spec.kind == kind and spec.active(now):
+                return spec
+        return None
+
+    def _roll(self, spec: FaultSpec) -> bool:
+        if spec.probability >= 1.0:
+            return True
+        return self.rng.random() < spec.probability
+
+    def _record(self, kind: str, detail: str) -> None:
+        self.runtime.record(
+            self.component, kind, f"site={self.site} {detail}"
+        )
+
+    def _announce_window(self, spec: FaultSpec, detail: str) -> None:
+        """Record a window-scoped fault once per window per site."""
+        key = self.specs.index(spec)
+        if not self._announced.get(key):
+            self._announced[key] = True
+            self._record(spec.kind, detail)
+
+
+class InvalidationInjector(ComponentInjector):
+    """Faults on the IOMMU invalidation queue's completion reports."""
+
+    component = "invalidation"
+
+    def outcome(
+        self, iova: int, length: int, cpu_cost_ns: float
+    ) -> tuple[str, float, int]:
+        """Decide one queued descriptor's fate.
+
+        Returns ``(status, extra_cpu_ns, completed_length)`` with status
+        one of ``"completed"``, ``"dropped"``, ``"partial"``.  The
+        caller applies invalidation effects only over the completed
+        prefix ``[iova, iova + completed_length)``.
+        """
+        spec = self._active("drop-completion")
+        if spec is not None and self._roll(spec):
+            # The completion descriptor never arrives; the driver's
+            # wait times out after ``magnitude`` ns (default: 4x the
+            # normal submit-and-wait cost).
+            timeout = spec.magnitude or DEFAULT_DELAY_FACTOR * cpu_cost_ns
+            self._record(
+                "drop-completion", f"iova={iova:#x} len={length:#x}"
+            )
+            return "dropped", timeout, 0
+        spec = self._active("partial-completion")
+        if spec is not None and self._roll(spec):
+            fraction = spec.magnitude or DEFAULT_PARTIAL_FRACTION
+            pages = length // 4096
+            completed_pages = min(int(pages * fraction), max(pages - 1, 0))
+            completed = completed_pages * 4096
+            self._record(
+                "partial-completion",
+                f"iova={iova:#x} len={length:#x} done={completed:#x}",
+            )
+            return "partial", 0.0, completed
+        spec = self._active("delay-completion")
+        if spec is not None and self._roll(spec):
+            extra = spec.magnitude or DEFAULT_DELAY_FACTOR * cpu_cost_ns
+            self._record(
+                "delay-completion", f"iova={iova:#x} extra={extra:.0f}"
+            )
+            return "completed", extra, length
+        return "completed", 0.0, length
+
+    def flush_extra(self, cpu_cost_ns: float) -> float:
+        """Extra wait on a register-based global flush (delay only).
+
+        The global flush polls a status register rather than waiting on
+        a queued completion descriptor, so it cannot be lost — only
+        slowed.  This is what makes it a sound last-resort fallback.
+        """
+        spec = self._active("delay-completion")
+        if spec is not None and self._roll(spec):
+            extra = spec.magnitude or DEFAULT_DELAY_FACTOR * cpu_cost_ns
+            self._record(
+                "delay-completion", f"flush extra={extra:.0f}"
+            )
+            return extra
+        return 0.0
+
+
+class PcieInjector(ComponentInjector):
+    """Link flaps, lane loss, and NACK/replay on one DMA pipeline."""
+
+    component = "pcie"
+
+    def hold_until(self) -> Optional[float]:
+        """If the link is down (flap window), when it comes back up."""
+        spec = self._active("link-flap")
+        if spec is None:
+            return None
+        self._announce_window(
+            spec, f"down until={spec.end_ns:.0f}"
+        )
+        return spec.end_ns
+
+    def wire_slowdown(self) -> float:
+        """Serialization slowdown factor while lanes are lost (>= 1)."""
+        spec = self._active("lane-loss")
+        if spec is None:
+            return 1.0
+        factor = spec.magnitude or DEFAULT_WIRE_SLOWDOWN
+        self._announce_window(spec, f"slowdown={factor:g}")
+        return max(factor, 1.0)
+
+    def replay_penalty(self) -> float:
+        """Extra completion latency if this DMA's TLP gets NACKed."""
+        spec = self._active("nack-replay")
+        if spec is None or not self._roll(spec):
+            return 0.0
+        penalty = spec.magnitude or DEFAULT_REPLAY_PENALTY_NS
+        self._record("nack-replay", f"penalty={penalty:.0f}")
+        return penalty
+
+
+class NicInjector(ComponentInjector):
+    """Descriptor-ring stalls and dropped doorbells on one NIC."""
+
+    component = "nic"
+
+    def stall_until(self) -> Optional[float]:
+        """If the descriptor DMA engine is stalled, when it resumes."""
+        spec = self._active("ring-stall")
+        if spec is None:
+            return None
+        self._announce_window(spec, f"until={spec.end_ns:.0f}")
+        return spec.end_ns
+
+    def doorbell_delay(self) -> float:
+        """Redelivery delay if this doorbell write is lost (0 = kept)."""
+        spec = self._active("doorbell-drop")
+        if spec is None or not self._roll(spec):
+            return 0.0
+        delay = spec.magnitude or DEFAULT_DOORBELL_DELAY_NS
+        self._record("doorbell-drop", f"redeliver={delay:.0f}")
+        return delay
+
+
+class NetInjector(ComponentInjector):
+    """Packet loss and reordering on one switch port."""
+
+    component = "net"
+
+    def drop(self, packet) -> bool:
+        """Whether the wire eats this packet."""
+        spec = self._active("loss")
+        if spec is None or not self._roll(spec):
+            return False
+        # Identify packets by (flow, kind, seq), never packet_id: ids
+        # come from a process-global counter, and the timeline must be
+        # byte-identical across *and within* processes.
+        self._record(
+            "loss",
+            f"flow={packet.flow_id} {packet.kind} seq={packet.seq}",
+        )
+        return True
+
+    def reorder_delay(self, packet) -> float:
+        """Extra propagation delay pushing the packet past successors."""
+        spec = self._active("reorder")
+        if spec is None or not self._roll(spec):
+            return 0.0
+        delay = spec.magnitude or DEFAULT_REORDER_DELAY_NS
+        self._record(
+            "reorder",
+            f"flow={packet.flow_id} {packet.kind} seq={packet.seq} "
+            f"extra={delay:.0f}",
+        )
+        return delay
+
+
+INJECTOR_TYPES: dict[str, type[ComponentInjector]] = {
+    "invalidation": InvalidationInjector,
+    "pcie": PcieInjector,
+    "nic": NicInjector,
+    "net": NetInjector,
+}

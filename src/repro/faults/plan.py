@@ -1,0 +1,178 @@
+"""Declarative fault plans: what breaks, where, when, and how often.
+
+A :class:`FaultPlan` is a seed plus a tuple of :class:`FaultSpec`
+entries.  Each spec names a *component* (the injection site), a fault
+*kind* (what the hardware does wrong), an activation *window* on the
+simulated clock, a per-opportunity *probability*, and a kind-specific
+*magnitude* (extra nanoseconds, a fraction, a slowdown factor).
+
+Plans are plain data: JSON round-trippable so that the CLI can load one
+from disk (``repro run fig7 --faults plan.json``) and tests can assert
+byte-identical fault timelines across processes.  Nothing here touches
+the simulator; the :mod:`repro.faults.runtime` layer turns a plan into
+live injectors.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+__all__ = ["FaultPlan", "FaultSpec", "KINDS_BY_COMPONENT"]
+
+# The injection sites and, per site, the catalog of modeled faults.
+# ``magnitude`` semantics are kind-specific and documented in
+# DESIGN.md's "Failure model" section:
+#
+# invalidation  drop-completion     completion descriptor lost; nothing
+#                                   invalidated (magnitude: wait-timeout
+#                                   ns charged before giving up)
+#               delay-completion    completion late (magnitude: extra ns)
+#               partial-completion  only a prefix of the range was
+#                                   invalidated (magnitude: completed
+#                                   fraction, default 0.5)
+# pcie          link-flap           link down for the whole window;
+#                                   DMA starts are held until it ends
+#               lane-loss           link retrains at reduced width
+#                                   (magnitude: wire slowdown factor,
+#                                   default 2.0)
+#               nack-replay         a TLP is NACKed and replayed
+#                                   (magnitude: replay penalty ns)
+# nic           ring-stall          descriptor DMA engine stalls for the
+#                                   window; buffered packets wait
+#               doorbell-drop       a doorbell write is lost; the posted
+#                                   descriptor is invisible until the
+#                                   next write (magnitude: redelivery
+#                                   delay ns)
+# net           loss                packet dropped on the wire
+#               reorder             packet delayed past its successors
+#                                   (magnitude: extra delay ns)
+KINDS_BY_COMPONENT: dict[str, tuple[str, ...]] = {
+    "invalidation": (
+        "drop-completion",
+        "delay-completion",
+        "partial-completion",
+    ),
+    "pcie": ("link-flap", "lane-loss", "nack-replay"),
+    "nic": ("ring-stall", "doorbell-drop"),
+    "net": ("loss", "reorder"),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: component, kind, activation window, odds, magnitude."""
+
+    component: str
+    kind: str
+    start_ns: float = 0.0
+    end_ns: float = math.inf
+    probability: float = 1.0
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        kinds = KINDS_BY_COMPONENT.get(self.component)
+        if kinds is None:
+            known = ", ".join(sorted(KINDS_BY_COMPONENT))
+            raise ValueError(
+                f"unknown fault component {self.component!r} "
+                f"(known: {known})"
+            )
+        if self.kind not in kinds:
+            raise ValueError(
+                f"unknown {self.component} fault kind {self.kind!r} "
+                f"(known: {', '.join(kinds)})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability {self.probability} outside [0, 1]"
+            )
+        if self.end_ns <= self.start_ns:
+            raise ValueError(
+                f"empty fault window [{self.start_ns}, {self.end_ns})"
+            )
+        if self.magnitude < 0.0:
+            raise ValueError(f"negative magnitude {self.magnitude}")
+
+    def active(self, now_ns: float) -> bool:
+        """Whether the spec's window covers simulated time ``now_ns``."""
+        return self.start_ns <= now_ns < self.end_ns
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "component": self.component,
+            "kind": self.kind,
+            "start_ns": self.start_ns,
+            # JSON has no infinity; an open-ended window serializes as
+            # null and parses back to math.inf.
+            "end_ns": None if math.isinf(self.end_ns) else self.end_ns,
+            "probability": self.probability,
+            "magnitude": self.magnitude,
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultSpec":
+        end_ns = data.get("end_ns")
+        return cls(
+            component=data["component"],
+            kind=data["kind"],
+            start_ns=float(data.get("start_ns", 0.0)),
+            end_ns=math.inf if end_ns is None else float(end_ns),
+            probability=float(data.get("probability", 1.0)),
+            magnitude=float(data.get("magnitude", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded set of fault specs."""
+
+    seed: int = 1
+    specs: tuple[FaultSpec, ...] = ()
+    name: str = "plan"
+
+    def __post_init__(self) -> None:
+        # Tolerate lists from callers/JSON; store a hashable tuple.
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    def for_component(self, component: str) -> tuple[FaultSpec, ...]:
+        return tuple(
+            spec for spec in self.specs if spec.component == component
+        )
+
+    @property
+    def components(self) -> list[str]:
+        """Components with at least one spec, in catalog order."""
+        return [
+            component
+            for component in KINDS_BY_COMPONENT
+            if self.for_component(component)
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        specs: Sequence[dict[str, Any]] = data.get("specs", [])
+        return cls(
+            seed=int(data.get("seed", 1)),
+            specs=tuple(FaultSpec.from_dict(entry) for entry in specs),
+            name=str(data.get("name", "plan")),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

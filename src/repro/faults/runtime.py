@@ -1,0 +1,108 @@
+"""The live side of fault injection: clock, RNG streams, timeline.
+
+A :class:`FaultRuntime` turns a :class:`~repro.faults.plan.FaultPlan`
+into per-site injectors.  Determinism contract:
+
+* all randomness comes from :class:`~repro.sim.SeededRng` streams keyed
+  ``faults/<component>/<site-ordinal>`` off the plan seed — never from
+  wall clocks or module-level RNG (REPRO001-clean);
+* injectors consult the *simulated* clock, bound once per run via
+  :meth:`bind_clock` (the testbed does this in its constructor);
+* every injected fault is appended to an ordered timeline whose
+  :meth:`timeline_text` rendering is byte-identical across processes
+  for the same seed and plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..sim.rng import SeededRng
+from .injectors import INJECTOR_TYPES, ComponentInjector
+from .plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+__all__ = ["FaultRecord", "FaultRuntime"]
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, stamped with the simulated time."""
+
+    time_ns: float
+    component: str
+    kind: str
+    detail: str
+
+    def format(self) -> str:
+        return (
+            f"{self.time_ns:.3f} {self.component} {self.kind} {self.detail}"
+        )
+
+
+class FaultRuntime:
+    """Injector factory, shared clock binding, and the fault timeline."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.records: list[FaultRecord] = []
+        self._sim: Optional["Simulator"] = None
+        # Site ordinal per component: the Nth queue/pipeline/port built
+        # under this runtime gets RNG stream faults/<component>/<N>.
+        # Construction order is deterministic, so streams are too.
+        self._site_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def bind_clock(self, sim: "Simulator") -> None:
+        """Attach the simulator whose clock gates fault windows."""
+        self._sim = sim
+
+    @property
+    def sim(self) -> Optional["Simulator"]:
+        return self._sim
+
+    def now(self) -> float:
+        """Simulated time, or 0.0 before a clock is bound.
+
+        Unbound-runtime semantics matter for unit tests that poke an
+        injector directly: windows starting at 0 are active.
+        """
+        return self._sim.now if self._sim is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Injector construction
+    # ------------------------------------------------------------------
+    def injector(self, component: str) -> Optional[ComponentInjector]:
+        """A fresh injector for one site, or ``None`` if no specs match."""
+        specs = self.plan.for_component(component)
+        if not specs:
+            return None
+        ordinal = self._site_counts.get(component, 0)
+        self._site_counts[component] = ordinal + 1
+        rng = SeededRng(self.plan.seed, f"faults/{component}/{ordinal}")
+        return INJECTOR_TYPES[component](self, specs, rng, site=ordinal)
+
+    # ------------------------------------------------------------------
+    # Timeline
+    # ------------------------------------------------------------------
+    def record(self, component: str, kind: str, detail: str) -> None:
+        self.records.append(
+            FaultRecord(self.now(), component, kind, detail)
+        )
+
+    @property
+    def injected_faults(self) -> int:
+        return len(self.records)
+
+    def timeline_text(self) -> str:
+        """The full fault timeline, one record per line.
+
+        Byte-identical across processes for identical (seed, plan,
+        workload) — the determinism acceptance test diffs this.
+        """
+        return "\n".join(record.format() for record in self.records)

@@ -75,7 +75,10 @@ class Host:
         self.allocation_trace: list[tuple[int, int]] = []
         self.iommu: Optional[Iommu] = None
         self.driver = self._build_driver()
-        self.nic = Nic(config.num_cores, config.nic_buffer_bytes)
+        self.nic = Nic(config.num_cores, config.nic_buffer_bytes, sim=sim)
+        # A fault-injected NIC stall parks packets in the input buffer;
+        # the NIC wakes the DMA pump when the stall window closes.
+        self.nic.on_wake = self._pump_rx_dma
         self.cores = CoreSet(sim, config.num_cores)
         self.rx_pipeline = DmaPipeline(sim, config.pcie, config.pcie.rx_lanes)
         self.tx_pipeline = DmaPipeline(sim, config.pcie, config.pcie.tx_lanes)
@@ -235,12 +238,9 @@ class Host:
 
     def _pump_rx_dma(self) -> None:
         while self.rx_pipeline.inflight < self.rx_pipeline.lanes:
-            entry = self.nic.input_buffer.dequeue()
-            if entry is None:
+            packet = self.nic.next_packet()
+            if packet is None:
                 return
-            packet, _size = entry
-            self.nic.stats.dma_packets += 1
-            self.nic.stats.dma_bytes += packet.size_bytes
             taken = self._pending_slots.pop(packet.packet_id)
             self.rx_pipeline.submit(
                 packet.size_bytes,

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..faults.hooks import current_faults
 from ..net.switch import SwitchPort
-from ..sim import Simulator
+from ..sim import Simulator, Watchdog
 from .config import HostConfig
 from .remote import RemotePeer
 from .server import Host
@@ -71,6 +72,7 @@ class Testbed:
         ecn_threshold_bytes: int = 600_000,
         ecn_threshold_to_remote_bytes: int = 150_000,
         propagation_ns: float = 2_000.0,
+        watchdog_interval_ns: Optional[float] = None,
     ) -> None:
         # The two directions see different bottlenecks.  Toward the
         # measured host, the real bottleneck is inside the host (PCIe /
@@ -79,6 +81,11 @@ class Testbed:
         # marks.  Toward the remote, the switch egress itself is the
         # bottleneck for host-Tx traffic and gets a standard DCTCP K.
         self.sim = Simulator()
+        faults = current_faults()
+        if faults is not None:
+            # Fault windows are expressed on the simulated clock; bind
+            # it before any injection site is constructed.
+            faults.bind_clock(self.sim)
         self.config = config
         self.port_to_host = SwitchPort(
             self.sim,
@@ -104,6 +111,11 @@ class Testbed:
         self.port_to_remote.deliver = self.remote.packet_from_wire
         self.rx_flow_ids: list[int] = []
         self.tx_flow_ids: list[int] = []
+        self.watchdog: Optional[Watchdog] = None
+        if watchdog_interval_ns is not None:
+            self.watchdog = Watchdog(
+                self.sim, watchdog_interval_ns, self._progress
+            )
 
     # ------------------------------------------------------------------
     # Flow setup
@@ -148,16 +160,40 @@ class Testbed:
     # Execution
     # ------------------------------------------------------------------
     def run(
-        self, warmup_ns: float = 5_000_000.0, measure_ns: float = 20_000_000.0
+        self,
+        warmup_ns: float = 5_000_000.0,
+        measure_ns: float = 20_000_000.0,
+        strict_until: bool = False,
     ) -> TestbedResult:
-        """Warm up, measure, and return the interval's deltas."""
+        """Warm up, measure, and return the interval's deltas.
+
+        ``strict_until=True`` raises
+        :class:`~repro.sim.EarlyQuiescenceError` if the calendar drains
+        before the run's horizon — experiments use it so a dead
+        workload cannot masquerade as a zero-throughput measurement.
+        """
         self.remote.start_all()
         for flow_id in self.tx_flow_ids:
             self.host.pump_tx_flow(flow_id)
-        self.sim.run(until=warmup_ns)
+        if self.watchdog is not None:
+            self.watchdog.arm()
+        self.sim.run(until=warmup_ns, strict_until=strict_until)
         snapshot = self._snapshot()
-        self.sim.run(until=warmup_ns + measure_ns)
+        self.sim.run(
+            until=warmup_ns + measure_ns, strict_until=strict_until
+        )
         return self._result(snapshot, measure_ns)
+
+    def _progress(self) -> tuple:
+        """Watchdog progress sample: anything moving counts as alive."""
+        host = self.host
+        return (
+            host.nic.stats.arrived_packets,
+            host.nic.stats.dma_packets,
+            host.acks_sent,
+            host.tx_data_segments,
+            sum(host.delivered_segments_by_flow.values()),
+        )
 
     # ------------------------------------------------------------------
     def _snapshot(self) -> dict:
@@ -226,4 +262,21 @@ class Testbed:
             result.invalidation_requests = delta.invalidation_requests
         if hasattr(host.driver, "stale_translations"):
             result.stale_translations = host.driver.stale_translations
+        # Hardening / fault accounting (cumulative, not interval
+        # deltas: fault sweeps run one testbed per plan).
+        result.extras["invalidation_retries"] = (
+            host.driver.invalidation_retries
+        )
+        result.extras["degraded_flushes"] = host.driver.degraded_flushes
+        if host.iommu is not None:
+            queue = host.iommu.invalidation_queue
+            result.extras["dropped_completions"] = (
+                queue.dropped_completions
+            )
+            result.extras["partial_completions"] = (
+                queue.partial_completions
+            )
+        faults = current_faults()
+        if faults is not None:
+            result.extras["injected_faults"] = faults.injected_faults
         return result

@@ -17,12 +17,25 @@ interface carry the paper's design:
 The CPU cost model: each queue entry costs the submitting core a fixed
 submit-plus-wait time (hundreds of ns in practice [Peleg et al. 2015]).
 Batched invalidation therefore reduces per-descriptor CPU cost 64x.
+
+Failure model (:mod:`repro.faults`): queued completions can be lost,
+delayed, or spuriously partial, so :meth:`submit_invalidation` returns
+an :class:`InvalidationResult` the caller must check — cache effects
+are applied only over the *completed prefix* of the requested range.
+The register-based global flush (:meth:`flush_all`) polls a status
+register instead of waiting on a completion descriptor; it can be
+slowed but never lost, which makes it the drivers' sound last-resort
+fallback.  The legacy :meth:`invalidate_range` discards the status and
+exists for unhardened callers — the lint rule REPRO004 and the fault
+test suite exist to keep production drivers off that path.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 
+from ..faults.hooks import injector_for
 from ..verify.events import (
     FlushEvent,
     InvalidationEvent,
@@ -33,7 +46,12 @@ from .iotlb import Iotlb
 from .ptcache import PtCacheHierarchy
 from .stats import IommuStats
 
-__all__ = ["InvalidationQueue", "InvalidationRequest"]
+__all__ = [
+    "InvalidationQueue",
+    "InvalidationRequest",
+    "InvalidationResult",
+    "InvalidationStatus",
+]
 
 
 @dataclass(frozen=True)
@@ -43,6 +61,32 @@ class InvalidationRequest:
     iova: int
     length: int
     preserve_ptcache: bool
+
+
+class InvalidationStatus(enum.Enum):
+    """How one queued descriptor's completion came back."""
+
+    COMPLETED = "completed"
+    PARTIAL = "partial"
+    DROPPED = "dropped"
+
+
+# Injector status strings -> enum (the injector answers in plain
+# strings so the faults package never imports this module).
+_STATUS_BY_NAME = {status.value: status for status in InvalidationStatus}
+
+
+@dataclass(frozen=True)
+class InvalidationResult:
+    """One descriptor's outcome: CPU cost, status, completed prefix."""
+
+    cost_ns: float
+    status: InvalidationStatus
+    completed_length: int
+
+    @property
+    def completed(self) -> bool:
+        return self.status is InvalidationStatus.COMPLETED
 
 
 class InvalidationQueue:
@@ -70,32 +114,112 @@ class InvalidationQueue:
         self.total_cpu_ns = 0.0
         # Safety-invariant monitor (repro.verify); None in normal runs.
         self.monitor = current_monitor()
+        # Fault injector (repro.faults); None in normal runs.
+        self.faults = injector_for("invalidation")
+        # Completion-fault accounting.
+        self.dropped_completions = 0
+        self.partial_completions = 0
+        self.delayed_completions = 0
 
-    def invalidate_range(
-        self, iova: int, length: int, preserve_ptcache: bool
-    ) -> float:
-        """Submit one invalidation descriptor for ``[iova, iova+length)``.
+    # ------------------------------------------------------------------
+    # Checked interface (hardened drivers)
+    # ------------------------------------------------------------------
+    def submit_invalidation(
+        self,
+        iova: int,
+        length: int,
+        preserve_ptcache: bool,
+        ptcache_only: bool = False,
+    ) -> InvalidationResult:
+        """Submit one descriptor and wait for its completion report.
 
         ``preserve_ptcache=False`` is the Linux behaviour (drop IOTLB
         *and* every PTcache entry covering the range); ``True`` is the
-        F&S behaviour (IOTLB only).  Returns the CPU cost in ns.
+        F&S behaviour (IOTLB only).  ``ptcache_only=True`` submits a
+        PTcache-entry invalidation instead (F&S's reclaim fallback).
+
+        Cache effects are applied only over the returned completed
+        prefix; on ``DROPPED``/``PARTIAL`` the caller must retry, back
+        off, or fall back to :meth:`flush_all`.
         """
-        self.iotlb.invalidate_range(iova, length)
-        self.stats.invalidation_requests += 1
-        if not preserve_ptcache:
-            self.ptcaches.invalidate_range(iova, length)
+        if length <= 0:
+            # VT-d descriptors always cover at least one page; a
+            # zero-length submission is an upstream no-op, not a wait.
+            return InvalidationResult(
+                0.0, InvalidationStatus.COMPLETED, 0
+            )
+        status = InvalidationStatus.COMPLETED
+        extra_ns = 0.0
+        completed_length = length
+        if self.faults is not None:
+            name, extra_ns, completed_length = self.faults.outcome(
+                iova, length, self.cpu_cost_ns
+            )
+            status = _STATUS_BY_NAME[name]
+            if status is InvalidationStatus.DROPPED:
+                self.dropped_completions += 1
+            elif status is InvalidationStatus.PARTIAL:
+                self.partial_completions += 1
+            elif extra_ns > 0.0:
+                self.delayed_completions += 1
+        if completed_length > 0:
+            self._apply(
+                iova, completed_length, preserve_ptcache, ptcache_only
+            )
+        if ptcache_only:
             self.stats.ptcache_invalidation_requests += 1
+        else:
+            self.stats.invalidation_requests += 1
         if self.trace:
             self.requests.append(
                 InvalidationRequest(iova, length, preserve_ptcache)
             )
+        cost = self.cpu_cost_ns + extra_ns
+        self.total_cpu_ns += cost
+        return InvalidationResult(cost, status, completed_length)
+
+    def _apply(
+        self,
+        iova: int,
+        length: int,
+        preserve_ptcache: bool,
+        ptcache_only: bool,
+    ) -> None:
+        """Apply cache effects over a completed prefix."""
+        if ptcache_only:
+            self.ptcaches.invalidate_range(iova, length)
+            if self.monitor is not None:
+                self.monitor.record(
+                    PtCacheInvalidationEvent(iova, length),
+                    owner=id(self.iotlb),
+                )
+            return
+        self.iotlb.invalidate_range(iova, length)
+        if not preserve_ptcache:
+            self.ptcaches.invalidate_range(iova, length)
+            self.stats.ptcache_invalidation_requests += 1
         if self.monitor is not None:
             self.monitor.record(
                 InvalidationEvent(iova, length, preserve_ptcache),
                 owner=id(self.iotlb),
             )
-        self.total_cpu_ns += self.cpu_cost_ns
-        return self.cpu_cost_ns
+
+    # ------------------------------------------------------------------
+    # Legacy unchecked interface
+    # ------------------------------------------------------------------
+    def invalidate_range(
+        self, iova: int, length: int, preserve_ptcache: bool
+    ) -> float:
+        """Submit one invalidation descriptor and assume it completed.
+
+        Returns only the CPU cost: a dropped or partial completion is
+        silently ignored, which is exactly the bug class the fault
+        suite demonstrates.  Hardened drivers use
+        :meth:`submit_invalidation` and check the result.
+        """
+        return self.submit_invalidation(
+            iova, length, preserve_ptcache
+        ).cost_ns
 
     def invalidate_ptcache_range(self, iova: int, length: int) -> float:
         """Drop only PTcache entries covering a range (no IOTLB).
@@ -104,22 +228,37 @@ class InvalidationQueue:
         pointing at the reclaimed page must go, but the corresponding
         IOTLB invalidation was already issued.
         """
-        self.ptcaches.invalidate_range(iova, length)
-        self.stats.ptcache_invalidation_requests += 1
-        if self.monitor is not None:
-            self.monitor.record(
-                PtCacheInvalidationEvent(iova, length), owner=id(self.iotlb)
-            )
-        self.total_cpu_ns += self.cpu_cost_ns
-        return self.cpu_cost_ns
+        return self.submit_invalidation(
+            iova, length, preserve_ptcache=False, ptcache_only=True
+        ).cost_ns
 
-    def flush_all(self) -> float:
-        """Global IOTLB + PTcache flush (deferred mode's periodic flush)."""
+    # ------------------------------------------------------------------
+    # Register-based global flush
+    # ------------------------------------------------------------------
+    def submit_flush(self) -> InvalidationResult:
+        """Global IOTLB + PTcache flush via the status-register path.
+
+        Always completes (delay faults only inflate the wait); this is
+        the graceful-degradation fallback when queued completions
+        cannot be confirmed, and deferred mode's periodic flush.
+        """
+        extra_ns = 0.0
+        if self.faults is not None:
+            extra_ns = self.faults.flush_extra(self.cpu_cost_ns)
+            if extra_ns > 0.0:
+                self.delayed_completions += 1
         self.iotlb.flush()
         self.ptcaches.flush()
         self.stats.invalidation_requests += 1
         self.stats.ptcache_invalidation_requests += 1
         if self.monitor is not None:
             self.monitor.record(FlushEvent(), owner=id(self.iotlb))
-        self.total_cpu_ns += self.cpu_cost_ns
-        return self.cpu_cost_ns
+        cost = self.cpu_cost_ns + extra_ns
+        self.total_cpu_ns += cost
+        return InvalidationResult(
+            cost, InvalidationStatus.COMPLETED, 0
+        )
+
+    def flush_all(self) -> float:
+        """Global flush, returning only the CPU cost (always safe)."""
+        return self.submit_flush().cost_ns

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..faults.hooks import injector_for
 from ..sim import FifoQueue, Simulator, TokenBucketPacer
 from .packet import Packet
 
@@ -38,9 +39,18 @@ class SwitchPort:
         self.propagation_ns = propagation_ns
         self.deliver = deliver
         self._draining = False
+        # Fault injector (repro.faults); None in normal runs.
+        self.faults = injector_for("net")
+        self.injected_losses = 0
+        self.reordered_packets = 0
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer a packet to the port; marks/drops per queue state."""
+        if self.faults is not None and self.faults.drop(packet):
+            # Wire loss: the sender saw the packet leave, the receiver
+            # never will — DCTCP's loss recovery has to notice.
+            self.injected_losses += 1
+            return True
         if not self.queue.try_enqueue(packet, packet.size_bytes):
             return False
         if self.queue.should_mark() and packet.is_data:
@@ -61,8 +71,16 @@ class SwitchPort:
     def _on_wire_done(self, packet: Packet) -> None:
         # Serialization finished; deliver after propagation, then pull
         # the next queued packet.
+        propagation = self.propagation_ns
+        if self.faults is not None:
+            extra = self.faults.reorder_delay(packet)
+            if extra > 0.0:
+                # Reorder: this packet takes a longer path and lands
+                # after packets serialized behind it.
+                self.reordered_packets += 1
+                propagation += extra
         self.sim.call_after(
-            self.propagation_ns, lambda p=packet: self.deliver(p)
+            propagation, lambda p=packet: self.deliver(p)
         )
         self._drain_next()
 

@@ -11,7 +11,10 @@ DMA'd (the CPU fell behind on descriptor recycling).
 
 from __future__ import annotations
 
-from ..sim import FifoQueue
+from typing import Callable, Optional
+
+from ..faults.hooks import injector_for
+from ..sim import FifoQueue, Simulator
 from .ring import RxRing
 
 __all__ = ["Nic", "NicStats"]
@@ -51,12 +54,30 @@ class NicStats:
 class Nic:
     """Receive side of the measured host's NIC."""
 
-    def __init__(self, num_cores: int, buffer_bytes: int = 1 << 20) -> None:
+    def __init__(
+        self,
+        num_cores: int,
+        buffer_bytes: int = 1 << 20,
+        sim: Optional[Simulator] = None,
+    ) -> None:
         if num_cores <= 0:
             raise ValueError("need at least one core")
-        self.rings = [RxRing(core) for core in range(num_cores)]
+        # Fault injector (repro.faults); None in normal runs.  The
+        # simulator reference exists only for fault scheduling
+        # (stall-end wakeups, doorbell redelivery).
+        self.sim = sim
+        self.faults = injector_for("nic")
+        self.rings = [
+            RxRing(core, sim=sim, faults=self.faults)
+            for core in range(num_cores)
+        ]
         self.input_buffer = FifoQueue(buffer_bytes)
         self.stats = NicStats()
+        # Called when a fault-induced stall ends and buffered packets
+        # can move again; the host points this at its DMA pump.
+        self.on_wake: Optional[Callable[[], None]] = None
+        self._wake_event = None
+        self.stalled_dequeues = 0
 
     def ring_for_flow(self, flow_id: int) -> RxRing:
         """aRFS steering: a flow always lands on the same core's ring."""
@@ -80,7 +101,19 @@ class Nic:
         return True
 
     def next_packet(self):
-        """Pop the next buffered packet for the DMA engine."""
+        """Pop the next buffered packet for the DMA engine.
+
+        Returns ``None`` when the buffer is empty — or when a
+        fault-injected descriptor-engine stall is in effect, in which
+        case a wakeup is scheduled for the stall's end so the pump
+        resumes without polling.
+        """
+        if self.faults is not None:
+            stalled_until = self.faults.stall_until()
+            if stalled_until is not None:
+                self.stalled_dequeues += 1
+                self._schedule_wake(stalled_until)
+                return None
         entry = self.input_buffer.dequeue()
         if entry is None:
             return None
@@ -88,3 +121,15 @@ class Nic:
         self.stats.dma_packets += 1
         self.stats.dma_bytes += packet.size_bytes
         return packet
+
+    def _schedule_wake(self, at_ns: float) -> None:
+        if self.sim is None or self._wake_event is not None:
+            return
+        if at_ns <= self.sim.now:
+            return
+        self._wake_event = self.sim.call_at(at_ns, self._wake)
+
+    def _wake(self) -> None:
+        self._wake_event = None
+        if self.on_wake is not None:
+            self.on_wake()

@@ -12,9 +12,13 @@ ring size) constant.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .descriptor import PageSlot, RxDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injectors import NicInjector
+    from ..sim import Simulator
 
 __all__ = ["RxRing"]
 
@@ -22,13 +26,38 @@ __all__ = ["RxRing"]
 class RxRing:
     """Ordered descriptors for one core."""
 
-    def __init__(self, core: int) -> None:
+    def __init__(
+        self,
+        core: int,
+        sim: Optional["Simulator"] = None,
+        faults: Optional["NicInjector"] = None,
+    ) -> None:
         self.core = core
         self._descriptors: deque[RxDescriptor] = deque()
         self.posted_descriptors = 0
         self.completed_descriptors = 0
+        # Fault plumbing (repro.faults); both None in normal runs.
+        self.sim = sim
+        self.faults = faults
+        self.dropped_doorbells = 0
 
     def post(self, descriptor: RxDescriptor) -> None:
+        if self.faults is not None and self.sim is not None:
+            delay = self.faults.doorbell_delay()
+            if delay > 0.0:
+                # The doorbell write was lost: the descriptor sits in
+                # host memory but the NIC doesn't know about it until a
+                # later write re-advertises the tail pointer.  Until
+                # then its pages are invisible to arrival processing
+                # (so the ring looks exhausted — a drop mode).
+                self.dropped_doorbells += 1
+                self.sim.call_after(
+                    delay, lambda d=descriptor: self._post_now(d)
+                )
+                return
+        self._post_now(descriptor)
+
+    def _post_now(self, descriptor: RxDescriptor) -> None:
         self._descriptors.append(descriptor)
         self.posted_descriptors += 1
 

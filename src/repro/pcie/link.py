@@ -29,6 +29,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
+from ..faults.hooks import injector_for
 from ..mem.latency import DEFAULT_L0_NS
 from ..sim import Simulator
 
@@ -82,6 +83,10 @@ class DmaPipeline:
         self.completed_dmas = 0
         self.completed_bytes = 0
         self.busy_ns = 0.0  # lane-occupancy integral for utilization
+        # Fault injector (repro.faults); None in normal runs.
+        self.faults = injector_for("pcie")
+        self.held_dmas = 0  # DMAs delayed by a link flap
+        self.replayed_dmas = 0  # DMAs that ate a NACK/replay penalty
 
     # ------------------------------------------------------------------
     def submit(self, size_bytes: int, begin: BeginFn, finish: FinishFn) -> None:
@@ -98,17 +103,45 @@ class DmaPipeline:
         this so that concurrent lanes cannot exceed the link rate.
         """
         wire_start = max(start, self._wire_busy_until)
-        wire_done = wire_start + self.config.wire_ns(size_bytes)
+        wire_ns = self.config.wire_ns(size_bytes)
+        if self.faults is not None:
+            # Lane loss: the link retrained at reduced width, so every
+            # byte serializes slower while the window is open.
+            wire_ns *= self.faults.wire_slowdown()
+        wire_done = wire_start + wire_ns
         self._wire_busy_until = wire_done
         return wire_done
 
     # ------------------------------------------------------------------
     def _start(self, size_bytes: int, begin: BeginFn, finish: FinishFn) -> None:
         self._busy += 1
+        if self.faults is not None:
+            held_until = self.faults.hold_until()
+            if held_until is not None and held_until > self.sim.now:
+                # Link flap: the DMA engine cannot issue while the link
+                # is down; the lane stays occupied and the transfer
+                # begins when the link retrains.
+                self.held_dmas += 1
+                self.sim.call_at(
+                    held_until,
+                    lambda s=size_bytes, b=begin, f=finish: self._begin(
+                        s, b, f
+                    ),
+                )
+                return
+        self._begin(size_bytes, begin, finish)
+
+    def _begin(self, size_bytes: int, begin: BeginFn, finish: FinishFn) -> None:
         start = self.sim.now
         completion = begin(start)
         if completion < start:
             raise ValueError("begin() returned a completion in the past")
+        if self.faults is not None:
+            penalty = self.faults.replay_penalty()
+            if penalty > 0.0:
+                # A TLP was NACKed; the DMA completes after the replay.
+                self.replayed_dmas += 1
+                completion += penalty
         self.busy_ns += completion - start
         self.sim.call_at(
             completion, lambda s=size_bytes, f=finish: self._complete(s, f)

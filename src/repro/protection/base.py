@@ -24,11 +24,15 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
+from ..iommu.invalidation import InvalidationStatus
 from ..nic.descriptor import RxDescriptor
 from ..verify.events import BufferRegisteredEvent, BufferRetiredEvent
 from ..verify.hooks import current_monitor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..iommu.invalidation import InvalidationQueue
 
 __all__ = ["ProtectionDriver", "TxMapping", "DriverCosts"]
 
@@ -61,12 +65,65 @@ class ProtectionDriver(ABC):
     name: str = "base"
     #: whether the mode upholds the strict safety property
     strict_safety: bool = False
+    #: retry budget before an invalidation wait degrades to a global
+    #: flush; the exponential backoff base is the spin-wait between
+    #: retries.  Both are CPU cost, charged to the retiring core.
+    max_invalidation_retries: int = 3
+    invalidation_backoff_ns: float = 400.0
 
     def __init__(self) -> None:
         # Safety-invariant monitor (repro.verify); None in normal runs.
         # Subclasses must call ``super().__init__()`` so the monitor can
         # track which DMA buffers are live (invariant (d)).
         self.monitor = current_monitor()
+        # Hardening accounting (repro.faults): retried invalidation
+        # waits and last-resort global flushes.
+        self.invalidation_retries = 0
+        self.degraded_flushes = 0
+
+    # ------------------------------------------------------------------
+    # Hardened invalidation (timeout-retry-backoff + degradation)
+    # ------------------------------------------------------------------
+    def _invalidate_robust(
+        self,
+        queue: "InvalidationQueue",
+        iova: int,
+        length: int,
+        preserve_ptcache: bool,
+        ptcache_only: bool = False,
+    ) -> float:
+        """Invalidate a range and *confirm* it, whatever the fabric does.
+
+        Submits through the checked queue interface; on a dropped or
+        partial completion, retries the unconfirmed suffix with
+        exponential backoff.  When the retry budget is exhausted, the
+        preservation optimisation is abandoned and a register-based
+        global flush (full IOTLB + PTcache invalidation) closes the
+        window — graceful degradation: throughput is lost, safety is
+        not.  Returns the total CPU cost in ns.
+        """
+        cost = 0.0
+        remaining_iova = iova
+        remaining = length
+        for attempt in range(self.max_invalidation_retries + 1):
+            result = queue.submit_invalidation(
+                remaining_iova,
+                remaining,
+                preserve_ptcache=preserve_ptcache,
+                ptcache_only=ptcache_only,
+            )
+            cost += result.cost_ns
+            if result.status is InvalidationStatus.COMPLETED:
+                return cost
+            # Advance over the confirmed prefix and spin before the
+            # retry (exponential backoff, charged as CPU time).
+            remaining_iova += result.completed_length
+            remaining -= result.completed_length
+            self.invalidation_retries += 1
+            cost += self.invalidation_backoff_ns * (2 ** attempt)
+        self.degraded_flushes += 1
+        cost += queue.flush_all()
+        return cost
 
     # ------------------------------------------------------------------
     # Monitor notifications (no-ops when unmonitored)

@@ -48,6 +48,16 @@ class DeferredDriver(ProtectionDriver):
         self.physmem = physmem
         self.costs = costs or DriverCosts()
         self.flush_threshold = flush_threshold
+        # Hardening (repro.faults): when a flush wait comes back slower
+        # than this budget, the invalidation fabric is degraded and the
+        # deferral window is halved — bounding how much stale-entry
+        # exposure can pile up behind a slow flush.  Healthy flushes
+        # grow it back toward the configured threshold.
+        self.initial_flush_threshold = flush_threshold
+        self.min_flush_threshold = max(1, flush_threshold // 8)
+        self.flush_cost_budget_ns = (
+            1.5 * iommu.invalidation_queue.cpu_cost_ns
+        )
         self.allocator = CachingIovaAllocator(
             num_cpus=num_cpus, trace=allocation_trace
         )
@@ -115,13 +125,31 @@ class DeferredDriver(ProtectionDriver):
         return self.flush()
 
     def flush(self) -> float:
-        """Global invalidation; frees all deferred IOVAs."""
-        cost = self.iommu.invalidation_queue.flush_all()
+        """Global invalidation; frees all deferred IOVAs.
+
+        Uses the register-based flush path, which cannot lose its
+        completion (only arrive late) — so IOVAs are freed strictly
+        *after* a confirmed flush, even under injected faults.  A flush
+        that blows the cost budget shrinks the deferral window
+        (graceful degradation: more flushes, shorter stale windows);
+        healthy flushes restore it.
+        """
+        result = self.iommu.invalidation_queue.submit_flush()
+        if result.cost_ns > self.flush_cost_budget_ns:
+            if self.flush_threshold > self.min_flush_threshold:
+                self.flush_threshold = max(
+                    self.min_flush_threshold, self.flush_threshold // 2
+                )
+                self.degraded_flushes += 1
+        elif self.flush_threshold < self.initial_flush_threshold:
+            self.flush_threshold = min(
+                self.initial_flush_threshold, self.flush_threshold * 2
+            )
         for iova, pages, core in self._deferred:
             self.allocator.free(iova, pages, cpu=core)
         self._deferred.clear()
         self.flushes += 1
-        return cost
+        return result.cost_ns
 
     # ------------------------------------------------------------------
     def translate(self, iova: int, source: str) -> int:

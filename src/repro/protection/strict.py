@@ -314,19 +314,23 @@ class StrictFamilyDriver(ProtectionDriver):
         preserve = self.preserve_ptcache
         cost = 0.0
         if self.batched_invalidation:
-            cost += queue.invalidate_range(iova, length, preserve)
+            cost += self._invalidate_robust(queue, iova, length, preserve)
         else:
             for index in range(pages):
-                cost += queue.invalidate_range(
-                    iova + index * PAGE_SIZE, PAGE_SIZE, preserve
+                cost += self._invalidate_robust(
+                    queue, iova + index * PAGE_SIZE, PAGE_SIZE, preserve
                 )
         if preserve and reclaimed:
             # Correctness fallback: an unmap actually reclaimed PT
             # pages, so the PTcache entries pointing at them are stale
             # and must be dropped after all.
             for page in reclaimed:
-                cost += queue.invalidate_ptcache_range(
-                    page.base_iova, page.coverage_bytes
+                cost += self._invalidate_robust(
+                    queue,
+                    page.base_iova,
+                    page.coverage_bytes,
+                    preserve,
+                    ptcache_only=True,
                 )
                 self.ptcache_fallback_invalidations += 1
         return cost

@@ -6,7 +6,14 @@ Exports the engine (:class:`Simulator`), process primitives
 and deterministic RNG (:class:`SeededRng`).
 """
 
-from .engine import Event, SimulationError, Simulator
+from .engine import (
+    EarlyQuiescenceError,
+    Event,
+    SimulationError,
+    Simulator,
+    Watchdog,
+    WatchdogError,
+)
 from .process import Process, Signal, Timeout
 from .resources import FifoQueue, TokenBucketPacer, WindowedPipeline
 from .rng import SeededRng
@@ -15,6 +22,9 @@ __all__ = [
     "Simulator",
     "Event",
     "SimulationError",
+    "EarlyQuiescenceError",
+    "Watchdog",
+    "WatchdogError",
     "Process",
     "Timeout",
     "Signal",

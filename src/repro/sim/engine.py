@@ -27,7 +27,14 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
-__all__ = ["Simulator", "Event", "SimulationError"]
+__all__ = [
+    "Simulator",
+    "Event",
+    "SimulationError",
+    "EarlyQuiescenceError",
+    "Watchdog",
+    "WatchdogError",
+]
 
 
 class SimulationError(RuntimeError):
@@ -36,6 +43,37 @@ class SimulationError(RuntimeError):
     Examples: scheduling an event in the past, or running a simulator
     that has already been stopped.
     """
+
+
+class EarlyQuiescenceError(SimulationError):
+    """``run(until=..., strict_until=True)`` drained the calendar early.
+
+    A run that was asked to simulate up to ``until`` but ran out of
+    events beforehand usually means the workload died (all flows
+    stalled, a pump was never primed) — silently returning would let an
+    experiment report zeros as if they were measurements.
+    """
+
+    def __init__(self, now: float, until: float) -> None:
+        super().__init__(
+            f"simulation quiesced at t={now:.1f}ns, before "
+            f"until={until:.1f}ns: the event calendar drained early"
+        )
+        self.now = now
+        self.until = until
+
+
+class WatchdogError(SimulationError):
+    """A :class:`Watchdog` saw pending events but no progress.
+
+    Carries the pending-event trace so a deadlocked/livelocked run
+    identifies its stuck callbacks instead of spinning forever.
+    """
+
+    def __init__(self, message: str, pending_trace: list[str]) -> None:
+        trace = "\n".join(f"  {line}" for line in pending_trace)
+        super().__init__(f"{message}\npending events:\n{trace}")
+        self.pending_trace = pending_trace
 
 
 class Event:
@@ -138,15 +176,26 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None) -> float:
+    def run(
+        self,
+        until: Optional[float] = None,
+        strict_until: bool = False,
+    ) -> float:
         """Run events until the calendar drains or ``until`` is reached.
 
         When ``until`` is given, the clock is advanced to exactly
         ``until`` at the end even if the last event fired earlier, so
         rate computations (bytes / elapsed) are well defined.
 
+        ``strict_until=True`` turns a silent early drain into a
+        structured :class:`EarlyQuiescenceError`: the calendar running
+        dry before ``until`` (without :meth:`stop`) means the workload
+        died, not that the experiment finished.
+
         Returns the final simulated time.
         """
+        if strict_until and until is None:
+            raise SimulationError("strict_until requires until")
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
@@ -164,6 +213,8 @@ class Simulator:
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
+            if strict_until and self.alive_events == 0:
+                raise EarlyQuiescenceError(self._now, until)
             self._now = until
         return self._now
 
@@ -175,3 +226,87 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events in the calendar (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def alive_events(self) -> int:
+        """Number of non-cancelled events in the calendar."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def pending_event_summary(self, limit: int = 16) -> list[str]:
+        """The next ``limit`` alive events, formatted for diagnostics."""
+        alive = sorted(
+            event for event in self._heap if not event.cancelled
+        )
+        lines = []
+        for event in alive[:limit]:
+            callback = event.callback
+            name = getattr(
+                callback, "__qualname__", None
+            ) or getattr(callback, "__name__", repr(callback))
+            lines.append(
+                f"t={event.time:.1f}ns seq={event.seq} {name}"
+            )
+        overflow = len(alive) - limit
+        if overflow > 0:
+            lines.append(f"... and {overflow} more")
+        return lines
+
+
+class Watchdog:
+    """Detects quiesced-but-unfinished runs (deadlock / livelock).
+
+    Every ``interval_ns`` the watchdog samples a caller-supplied
+    ``progress`` function (any comparable value — typically a tuple of
+    monotonically increasing counters).  If a full interval passes with
+    pending events but an unchanged sample, the run is spinning without
+    doing work and a :class:`WatchdogError` carrying the pending-event
+    trace is raised out of :meth:`Simulator.run`.
+
+    The watchdog's own timer keeps the calendar non-empty, so it
+    disarms itself when it is the only thing left alive (a normally
+    finished run); pair with ``strict_until`` to catch early drains.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval_ns: float,
+        progress: Callable[[], Any],
+        trace_limit: int = 16,
+    ) -> None:
+        if interval_ns <= 0:
+            raise SimulationError(
+                f"watchdog interval must be positive, got {interval_ns}"
+            )
+        self.sim = sim
+        self.interval_ns = interval_ns
+        self.progress = progress
+        self.trace_limit = trace_limit
+        self.checks = 0
+        self._last: Any = None
+        self._armed = False
+
+    def arm(self) -> None:
+        """Start (or restart) periodic progress checks."""
+        if self._armed:
+            return
+        self._armed = True
+        self._last = self.progress()
+        self.sim.call_after(self.interval_ns, self._tick)
+
+    def _tick(self) -> None:
+        self.checks += 1
+        if self.sim.alive_events == 0:
+            # Nothing left but us: the run is over, not stuck.
+            self._armed = False
+            return
+        current = self.progress()
+        if current == self._last:
+            raise WatchdogError(
+                f"no progress for {self.interval_ns:.0f}ns with "
+                f"{self.sim.alive_events} events pending "
+                "(deadlock/livelock)",
+                self.sim.pending_event_summary(self.trace_limit),
+            )
+        self._last = current
+        self.sim.call_after(self.interval_ns, self._tick)

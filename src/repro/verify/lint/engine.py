@@ -62,6 +62,11 @@ _INVALIDATE_CALLS = {
     "invalidate_ptcache_range",
     "flush_all",
     "flush",
+    # Checked/robust interfaces (repro.faults hardening): these arm an
+    # invalidation and confirm its completion.
+    "submit_invalidation",
+    "submit_flush",
+    "_invalidate_robust",
 }
 _DRIVER_BASE_HINT = "Driver"
 
@@ -239,7 +244,66 @@ class _Visitor(ast.NodeVisitor):
                     f"({', '.join(sorted(unmaps))}) but never enqueues "
                     "an IOTLB invalidation; stale translations survive",
                 )
+            self._check_retry_loops(node)
         self.generic_visit(node)
+
+    @staticmethod
+    def _invalidating_methods(node: ast.ClassDef) -> set[str]:
+        """Class methods that (transitively) arm an invalidation.
+
+        Fixpoint over self-method calls: a method invalidates if it
+        calls a queue invalidation directly or calls a sibling method
+        that does.
+        """
+        calls_by_method: dict[str, set[str]] = {}
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                calls_by_method[child.name] = {
+                    called.attr
+                    for called in ast.walk(child)
+                    if isinstance(called, ast.Attribute)
+                }
+        invalidating: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, attrs in calls_by_method.items():
+                if name in invalidating:
+                    continue
+                if attrs & _INVALIDATE_CALLS or attrs & invalidating:
+                    invalidating.add(name)
+                    changed = True
+        return invalidating
+
+    def _check_retry_loops(self, node: ast.ClassDef) -> None:
+        """Flag ``while`` retry loops that unmap without re-arming.
+
+        A retry loop that repeats an unmap but leaves the invalidation
+        outside the loop re-arms the IOTLB invalidation only for the
+        *last* attempt — every earlier attempt's stale entry survives.
+        The loop body must invalidate, directly or via a class method
+        that (transitively) does.
+        """
+        invalidating = self._invalidating_methods(node)
+        safe_calls = _INVALIDATE_CALLS | invalidating
+        for loop in ast.walk(node):
+            if not isinstance(loop, ast.While):
+                continue
+            attrs = {
+                called.attr
+                for called in ast.walk(loop)
+                if isinstance(called, ast.Attribute)
+            }
+            unmaps = attrs & _UNMAP_CALLS
+            if unmaps and not (attrs & safe_calls):
+                self._add(
+                    loop,
+                    "REPRO004",
+                    f"driver class {node.name} retries an unmap "
+                    f"({', '.join(sorted(unmaps))}) in a while loop "
+                    "without re-arming the IOTLB invalidation; earlier "
+                    "attempts leave stale translations live",
+                )
 
 
 def lint_source(source: str, path: str) -> list[Finding]:

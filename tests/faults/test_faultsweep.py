@@ -1,0 +1,63 @@
+"""The fault-sweep experiment: table shape and the safety bar."""
+
+from repro.experiments import sweep_plans
+from repro.experiments.faultsweep import FAULTS_HEADERS, fault_sweep
+from repro.experiments.settings import RunScale
+from repro.faults import FaultPlan, FaultSpec
+
+TINY = RunScale(
+    name="tiny",
+    warmup_ns=300_000.0,
+    measure_ns=900_000.0,
+    latency_measure_ns=900_000.0,
+)
+
+
+def test_sweep_plans_cover_every_family():
+    plans = sweep_plans(seed=1)
+    assert [label for label, _ in plans] == [
+        "invalidation",
+        "pcie",
+        "nic",
+        "net",
+    ]
+    for label, plan in plans:
+        assert plan.seed == 1
+        assert plan.components == [label]
+
+
+def test_sweep_plans_windows_scale_with_run():
+    _, plan = sweep_plans(seed=1, scale=TINY)[1]  # pcie
+    horizon = TINY.warmup_ns + TINY.measure_ns
+    for spec in plan.specs:
+        assert spec.end_ns <= horizon
+
+
+def test_fault_sweep_degrades_without_violations():
+    result = fault_sweep(scale=TINY, seed=1, flows=3)
+    assert result.headers == FAULTS_HEADERS
+    labels = [row[0] for row in result.rows]
+    assert labels == ["none", "invalidation", "pcie", "nic", "net"]
+    baseline = result.rows[0]
+    assert baseline[1] > 0  # the fault-free row actually moved data
+    violations_col = FAULTS_HEADERS.index("violations")
+    faults_col = FAULTS_HEADERS.index("faults")
+    for row in result.rows[1:]:
+        assert row[faults_col] > 0
+        assert row[violations_col] == 0
+        # Every fault row carries its deterministic timeline in raw.
+        assert row[0] in result.raw
+        assert result.raw[row[0]]["timeline"]
+    # At least one family visibly lost throughput to the faults.
+    assert min(row[1] for row in result.rows[1:]) < 0.9 * baseline[1]
+
+
+def test_fault_sweep_accepts_custom_plan():
+    plan = FaultPlan(
+        seed=4,
+        name="custom",
+        specs=(FaultSpec("net", "loss", probability=0.01),),
+    )
+    result = fault_sweep(scale=TINY, seed=4, flows=2, plan=plan)
+    assert [row[0] for row in result.rows] == ["none", "custom"]
+    assert "custom" in result.raw

@@ -1,0 +1,91 @@
+"""Unit tests for declarative fault plans (validation + JSON)."""
+
+import math
+
+import pytest
+
+from repro.faults import KINDS_BY_COMPONENT, FaultPlan, FaultSpec
+
+
+def test_every_catalog_kind_constructs():
+    for component, kinds in KINDS_BY_COMPONENT.items():
+        for kind in kinds:
+            spec = FaultSpec(component, kind)
+            assert spec.active(0.0)
+
+
+def test_unknown_component_rejected():
+    with pytest.raises(ValueError, match="unknown fault component"):
+        FaultSpec("gpu", "loss")
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown net fault kind"):
+        FaultSpec("net", "drop-completion")
+
+
+def test_probability_bounds_enforced():
+    with pytest.raises(ValueError, match="outside"):
+        FaultSpec("net", "loss", probability=1.5)
+    with pytest.raises(ValueError, match="outside"):
+        FaultSpec("net", "loss", probability=-0.1)
+
+
+def test_empty_window_rejected():
+    with pytest.raises(ValueError, match="empty fault window"):
+        FaultSpec("net", "loss", start_ns=100.0, end_ns=100.0)
+
+
+def test_negative_magnitude_rejected():
+    with pytest.raises(ValueError, match="negative magnitude"):
+        FaultSpec("net", "reorder", magnitude=-1.0)
+
+
+def test_window_half_open():
+    spec = FaultSpec("net", "loss", start_ns=10.0, end_ns=20.0)
+    assert not spec.active(9.9)
+    assert spec.active(10.0)
+    assert spec.active(19.9)
+    assert not spec.active(20.0)
+
+
+def test_spec_round_trips_including_infinity():
+    spec = FaultSpec("pcie", "nack-replay", 5.0, math.inf, 0.25, 1500.0)
+    data = spec.to_dict()
+    # JSON has no infinity: open windows must serialize as null.
+    assert data["end_ns"] is None
+    assert FaultSpec.from_dict(data) == spec
+
+
+def test_plan_round_trips_through_file(tmp_path):
+    plan = FaultPlan(
+        seed=9,
+        name="mixed",
+        specs=(
+            FaultSpec("invalidation", "drop-completion", 0.0, 1e6, 0.5),
+            FaultSpec("net", "loss", probability=0.01),
+        ),
+    )
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json())
+    assert FaultPlan.from_file(str(path)) == plan
+
+
+def test_plan_accepts_list_specs():
+    plan = FaultPlan(specs=[FaultSpec("net", "loss")])
+    assert isinstance(plan.specs, tuple)
+
+
+def test_for_component_and_components():
+    plan = FaultPlan(
+        specs=(
+            FaultSpec("net", "loss"),
+            FaultSpec("invalidation", "delay-completion"),
+            FaultSpec("net", "reorder"),
+        )
+    )
+    assert len(plan.for_component("net")) == 2
+    assert plan.for_component("pcie") == ()
+    # Catalog order, not spec order: deterministic regardless of how
+    # the plan was assembled.
+    assert plan.components == ["invalidation", "net"]

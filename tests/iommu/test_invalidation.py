@@ -84,3 +84,58 @@ def test_total_cpu_accumulates():
     queue.invalidate_ptcache_range(0x500000, PAGE_SIZE)
     queue.flush_all()
     assert queue.total_cpu_ns == 300.0
+
+
+# ---------------------------------------------------------------------------
+# Range edge cases
+# ---------------------------------------------------------------------------
+def test_zero_length_request_is_a_noop():
+    """VT-d descriptors cover at least one page; a zero-length submit
+    must not wait, count, or touch any cache."""
+    iommu = make_iommu()
+    warm(iommu, 0x600000, 1)
+    queue = iommu.invalidation_queue
+    result = queue.submit_invalidation(
+        0x600000, 0, preserve_ptcache=True
+    )
+    assert result.cost_ns == 0.0
+    assert result.completed
+    assert result.completed_length == 0
+    assert iommu.iotlb.contains(0x600000)
+    assert iommu.stats.invalidation_requests == 0
+    assert queue.total_cpu_ns == 0.0
+    assert queue.requests == []
+
+
+def test_range_spanning_past_last_mapped_page():
+    """An invalidation range may extend beyond the last mapped page
+    (e.g. a driver rounding up to a power of two): mapped pages inside
+    the range are dropped, the unmapped tail is harmless."""
+    iommu = make_iommu()
+    warm(iommu, 0x700000, 4)
+    result = iommu.invalidation_queue.submit_invalidation(
+        0x702000, 4 * PAGE_SIZE, preserve_ptcache=True
+    )
+    assert result.completed
+    # Pages 0-1 are outside the range and survive; 2-3 are inside and
+    # must be gone even though the range runs two pages past them.
+    assert iommu.iotlb.contains(0x700000)
+    assert iommu.iotlb.contains(0x701000)
+    assert not iommu.iotlb.contains(0x702000)
+    assert not iommu.iotlb.contains(0x703000)
+
+
+def test_preserve_ptcache_on_unmapped_range():
+    """Invalidating a never-mapped range is legal (drivers batch over
+    holes): full CPU cost, nothing cached changes."""
+    iommu = make_iommu()
+    warm(iommu, 0x800000, 1)
+    queue = iommu.invalidation_queue
+    resident_before = iommu.ptcaches.l3.resident_entries
+    cost = queue.invalidate_range(
+        0xdead000, 2 * PAGE_SIZE, preserve_ptcache=True
+    )
+    assert cost == queue.cpu_cost_ns
+    assert iommu.iotlb.contains(0x800000)
+    assert iommu.ptcaches.l3.resident_entries == resident_before
+    assert iommu.stats.invalidation_requests == 1

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sim import SimulationError, Simulator
+from repro.sim import (
+    EarlyQuiescenceError,
+    SimulationError,
+    Simulator,
+    Watchdog,
+    WatchdogError,
+)
 
 
 def test_clock_starts_at_zero():
@@ -128,3 +134,113 @@ def test_run_is_not_reentrant():
     sim.call_after(1.0, reenter)
     sim.run()
     assert len(errors) == 1
+
+
+# ---------------------------------------------------------------------------
+# strict_until: early calendar drain is an error, not a measurement
+# ---------------------------------------------------------------------------
+def test_strict_until_requires_until():
+    with pytest.raises(SimulationError, match="requires until"):
+        Simulator().run(strict_until=True)
+
+
+def test_strict_until_raises_on_early_drain():
+    sim = Simulator()
+    sim.call_after(100.0, lambda: None)
+    with pytest.raises(EarlyQuiescenceError) as excinfo:
+        sim.run(until=1_000.0, strict_until=True)
+    assert excinfo.value.now == 100.0
+    assert excinfo.value.until == 1_000.0
+
+
+def test_strict_until_quiet_when_events_reach_horizon():
+    sim = Simulator()
+    # A self-rescheduling ticker keeps the calendar alive past until.
+    def tick():
+        sim.call_after(50.0, tick)
+
+    sim.call_after(0.0, tick)
+    assert sim.run(until=1_000.0, strict_until=True) == 1_000.0
+
+
+def test_strict_until_quiet_after_explicit_stop():
+    # stop() means "the experiment ended on purpose" — not a dead
+    # workload, so strict_until must not fire.
+    sim = Simulator()
+    sim.call_after(100.0, sim.stop)
+    assert sim.run(until=1_000.0, strict_until=True) == 100.0
+
+
+def test_alive_events_excludes_cancelled():
+    sim = Simulator()
+    kept = sim.call_after(10.0, lambda: None)
+    cancelled = sim.call_after(20.0, lambda: None)
+    cancelled.cancel()
+    assert sim.pending_events == 2
+    assert sim.alive_events == 1
+    del kept
+
+
+def test_pending_event_summary_names_and_overflow():
+    sim = Simulator()
+
+    def stuck_callback():
+        pass
+
+    for _ in range(3):
+        sim.call_after(5.0, stuck_callback)
+    lines = sim.pending_event_summary(limit=2)
+    assert len(lines) == 3
+    assert "stuck_callback" in lines[0]
+    assert lines[-1] == "... and 1 more"
+
+
+# ---------------------------------------------------------------------------
+# Watchdog: quiesced-but-unfinished runs raise with a pending trace
+# ---------------------------------------------------------------------------
+def test_watchdog_raises_on_no_progress():
+    sim = Simulator()
+
+    def spin():
+        sim.call_after(1.0, spin)  # livelock: busy but going nowhere
+
+    sim.call_after(0.0, spin)
+    watchdog = Watchdog(sim, interval_ns=100.0, progress=lambda: 0)
+    watchdog.arm()
+    with pytest.raises(WatchdogError) as excinfo:
+        sim.run(until=10_000.0)
+    assert "no progress" in str(excinfo.value)
+    assert any("spin" in line for line in excinfo.value.pending_trace)
+
+
+def test_watchdog_tolerates_progress():
+    sim = Simulator()
+    work = []
+
+    def produce():
+        work.append(len(work))
+        sim.call_after(10.0, produce)
+
+    sim.call_after(0.0, produce)
+    watchdog = Watchdog(sim, interval_ns=100.0, progress=lambda: len(work))
+    watchdog.arm()
+    sim.run(until=1_000.0)
+    assert watchdog.checks >= 5
+    assert len(work) > 50
+
+
+def test_watchdog_disarms_when_run_finishes():
+    sim = Simulator()
+    sim.call_after(10.0, lambda: None)
+    watchdog = Watchdog(sim, interval_ns=100.0, progress=lambda: 0)
+    watchdog.arm()
+    # The workload ends before the first check; the watchdog must see
+    # an empty calendar and stand down instead of raising.
+    sim.run(until=1_000.0)
+    assert watchdog.checks == 1
+
+
+def test_watchdog_rejects_bad_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="interval"):
+        Watchdog(sim, interval_ns=0.0, progress=lambda: 0)

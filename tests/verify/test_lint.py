@@ -147,6 +147,65 @@ def test_non_driver_classes_ignored():
     """) == []
 
 
+def test_checked_invalidation_interface_allowed():
+    # submit_invalidation/_invalidate_robust are the hardened seam the
+    # fault-injection drivers use; they count as invalidating.
+    assert codes("""
+        class CheckedDriver(ProtectionDriver):
+            def retire(self, slot):
+                self.iommu.unmap_range(slot.iova, 4096)
+                self._invalidate_robust(self.queue, slot.iova, 4096, False)
+    """) == []
+
+
+RETRY_DRIVER = """
+    class RetryDriver(ProtectionDriver):
+        def retire(self, slot):
+            attempts = 0
+            while attempts < 3:
+                self.iommu.unmap_range(slot.iova, 4096)
+                attempts += 1
+            self.queue.invalidate_range(slot.iova, 4096, False)
+"""
+
+REARMING_RETRY_DRIVER = """
+    class RearmingDriver(ProtectionDriver):
+        def retire(self, slot):
+            attempts = 0
+            while attempts < 3:
+                self.iommu.unmap_range(slot.iova, 4096)
+                self._rearm(slot.iova)
+                attempts += 1
+
+        def _rearm(self, iova):
+            self._invalidate_robust(self.queue, iova, 4096, False)
+"""
+
+
+def test_retry_loop_without_rearm_flagged():
+    # The class as a whole invalidates (after the loop), but each loop
+    # iteration's unmap leaves a stale IOTLB entry until the *final*
+    # invalidation — the per-loop rule must still fire.
+    findings = lint(RETRY_DRIVER)
+    assert [f.code for f in findings] == ["REPRO004"]
+    assert "retries an unmap" in findings[0].message
+
+
+def test_retry_loop_with_rearm_allowed():
+    # Re-arming through a helper method counts: the rule chases
+    # self-method calls to a fixpoint.
+    assert codes(REARMING_RETRY_DRIVER) == []
+
+
+def test_retry_loop_rule_ignores_non_drivers():
+    assert codes("""
+        class RingBuffer:
+            def drain(self):
+                while self.entries:
+                    self.table.unmap_range(self.entries.pop(), 4096)
+    """) == []
+
+
 # ---------------------------------------------------------------------------
 # noqa + engine mechanics
 # ---------------------------------------------------------------------------
