@@ -8,21 +8,28 @@ Usage::
     python -m repro fig12 --out out.txt  # also write the table to a file
     python -m repro all                  # every figure, quick scale
     python -m repro run fig7 --verify    # run with the invariant monitor
+    python -m repro fig2 --trace t.json  # also export a Perfetto trace
     python -m repro lint src/            # determinism/safety lint pass
     python -m repro faults --seed 2      # fault sweep (safety under faults)
     python -m repro run fig7 --faults plan.json --verify
+    python -m repro report fig2          # metrics JSON + summary table
+    python -m repro bench                # wall-clock speed -> BENCH_sim.json
+    python -m repro bench --check BENCH_sim.json
 
 Each command prints the reproduced table (the same rows the paper's
 figure plots) and exits 0.  Under ``--verify`` every simulated event is
 additionally checked against the DMA-safety invariants
 (:mod:`repro.verify`); a violation aborts the run with a full event
-trace and exit code 1.
+trace and exit code 1.  ``report`` runs a figure with the observability
+layer (:mod:`repro.obs`) installed and writes a metrics time-series
+document plus (optionally) a Chrome-trace file loadable in Perfetto.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
 from typing import Callable, Optional
 
@@ -43,6 +50,7 @@ from .experiments import (
     model_fit,
 )
 from .faults import FaultPlan, faulted
+from .obs import MetricsRegistry, SpanTracer, observed
 from .verify import InvariantMonitor, InvariantViolation, monitored
 from .verify.lint import main as lint_main
 
@@ -62,6 +70,8 @@ FIGURES: dict[str, tuple[Callable, str]] = {
     "fig12": (fig12_ablation, "Ablation: each F&S idea is necessary"),
     "faults": (fault_sweep, "Fault sweep: throughput degrades, safety holds"),
 }
+
+DEFAULT_SAMPLE_INTERVAL_NS = 100_000.0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -110,6 +120,85 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="fault-plan seed for the built-in 'faults' sweep",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "export a Chrome-trace (Perfetto-loadable) JSON of DMA, "
+            "walk and invalidation spans to PATH"
+        ),
+    )
+    return parser
+
+
+def _build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description=(
+            "Run a figure with the observability layer installed and "
+            "emit a metrics JSON document plus a per-phase summary."
+        ),
+    )
+    parser.add_argument("figure", help="figure id (see 'repro list')")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-length runs instead of quick",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="metrics JSON path (default: <figure>_metrics.json)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="Chrome-trace JSON path (default: <figure>_trace.json)",
+    )
+    parser.add_argument(
+        "--interval-ns",
+        type=float,
+        default=DEFAULT_SAMPLE_INTERVAL_NS,
+        metavar="NS",
+        help="metrics sampling interval in simulated ns",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fault-plan seed (only used by the 'faults' figure)",
+    )
+    return parser
+
+
+def _build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description=(
+            "Measure simulator wall-clock speed and write BENCH_sim.json"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_sim.json",
+        help="output path (default: BENCH_sim.json)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="longer benchmark runs",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        default=None,
+        help="validate an existing BENCH_sim.json instead of running",
     )
     return parser
 
@@ -174,10 +263,79 @@ def _run_figure(
     return 0
 
 
+def _run_report(raw: list[str]) -> int:
+    from .analysis.report import format_table
+
+    args = _build_report_parser().parse_args(raw)
+    if args.figure not in FIGURES:
+        print(f"unknown figure {args.figure!r}\n\n{_list_figures()}",
+              file=sys.stderr)
+        return 2
+    scale = FULL if args.full else QUICK
+    metrics_path = args.out or f"{args.figure}_metrics.json"
+    trace_path = args.trace or f"{args.figure}_trace.json"
+    registry = MetricsRegistry(
+        tracer=SpanTracer(),
+        sample_interval_ns=args.interval_ns,
+    )
+    runner, _description = FIGURES[args.figure]
+    kwargs = {"seed": args.seed} if args.figure == "faults" else {}
+    with observed(registry):
+        result = runner(scale=scale, **kwargs)
+    print(result.format())
+    headers, rows = registry.summary_rows()
+    print()
+    print(format_table(headers, rows))
+    with open(metrics_path, "w") as handle:
+        json.dump(registry.report(), handle, indent=2)
+        handle.write("\n")
+    registry.tracer.write(trace_path)
+    print(f"\nmetrics: {metrics_path}")
+    print(
+        f"trace:   {trace_path} "
+        f"({len(registry.tracer.events)} events; load at ui.perfetto.dev)"
+    )
+    return 0
+
+
+def _run_bench(raw: list[str]) -> int:
+    from .obs import bench
+
+    args = _build_bench_parser().parse_args(raw)
+    if args.check is not None:
+        try:
+            with open(args.check) as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.check!r}: {exc}", file=sys.stderr)
+            return 2
+        problems = bench.check_schema(doc)
+        if problems:
+            for problem in problems:
+                print(f"schema problem: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.check}: schema OK "
+              f"({len(doc['benchmarks'])} benchmarks)")
+        return 0
+    doc = bench.write_bench(args.out, full=args.full)
+    for point in doc["benchmarks"]:
+        print(
+            f"{point['name']:14s} {point['wall_s']:7.2f}s wall  "
+            f"{point['events']:>8d} events  "
+            f"{point['sim_ns_per_wall_s'] / 1e6:8.1f} sim-ms/s"
+        )
+    print(f"total: {doc['total_wall_s']:.2f}s wall -> {args.out}")
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     raw = list(sys.argv[1:]) if argv is None else list(argv)
     if raw and raw[0] == "lint":
         return lint_main(raw[1:])
+    if raw and raw[0] == "report":
+        return _run_report(raw[1:])
+    if raw and raw[0] == "bench":
+        return _run_bench(raw[1:])
     if raw and raw[0] == "run":
         # ``repro run fig7 --verify`` is an alias for ``repro fig7``.
         raw = raw[1:]
@@ -201,12 +359,29 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"unknown figure {args.figure!r}\n\n{_list_figures()}",
               file=sys.stderr)
         return 2
-    for name in names:
-        status = _run_figure(
-            name, scale, args.verify, args.out, seed=args.seed, plan=plan
+    # A global --trace wraps the whole run in a tracer-only registry
+    # (spans without periodic metric sampling).
+    trace_ctx: contextlib.AbstractContextManager
+    registry: Optional[MetricsRegistry] = None
+    if args.trace is not None:
+        registry = MetricsRegistry(tracer=SpanTracer())
+        trace_ctx = observed(registry)
+    else:
+        trace_ctx = contextlib.nullcontext()
+    with trace_ctx:
+        for name in names:
+            status = _run_figure(
+                name, scale, args.verify, args.out, seed=args.seed,
+                plan=plan,
+            )
+            if status:
+                return status
+    if registry is not None:
+        registry.tracer.write(args.trace)
+        print(
+            f"trace: {args.trace} ({len(registry.tracer.events)} events; "
+            "load at ui.perfetto.dev)"
         )
-        if status:
-            return status
     return 0
 
 

@@ -19,7 +19,7 @@ from typing import Optional
 from ..apps.iperf import run_iperf
 from ..faults import FaultPlan, FaultSpec, faulted
 from ..verify import InvariantMonitor, monitored
-from .figures import FigureResult
+from .figures import FigureResult, _obs_phase
 from .settings import FULL, RunScale
 
 __all__ = ["fault_sweep", "sweep_plans"]
@@ -180,6 +180,7 @@ def fault_sweep(
         else sweep_plans(seed, scale)
     )
     for label, row_plan in [("none", None)] + plans:
+        _obs_phase(f"faults {mode} {label}")
         monitor = InvariantMonitor()
         with monitored(monitor):
             if row_plan is None:

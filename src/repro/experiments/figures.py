@@ -20,7 +20,15 @@ from ..apps.netperf import run_netperf_rpc
 from ..apps.nginx import run_nginx
 from ..apps.redis import run_redis
 from ..apps.spdk import run_spdk
+from ..obs.hooks import current_registry
 from .settings import FULL, RunScale
+
+
+def _obs_phase(label: str) -> None:
+    """Label the next experiment point's metrics phase (if observing)."""
+    registry = current_registry()
+    if registry is not None:
+        registry.begin_phase(label)
 
 __all__ = [
     "FigureResult",
@@ -111,6 +119,7 @@ def _sweep_iperf(
     result = FigureResult(figure_id, title, headers)
     for mode in modes:
         for x in x_values:
+            _obs_phase(f"{figure_id} {mode} {x_name}={x}")
             kwargs = dict(point_kwargs_fn)
             if x_name == "flows":
                 point = run_iperf(
@@ -179,6 +188,7 @@ def model_fit(
     """
     points: dict[int, ModelPoint] = {}
     for count in flows:
+        _obs_phase(f"Model strict flows={count}")
         measured = run_iperf(
             "strict",
             flows=count,
@@ -273,6 +283,7 @@ def fig9_rpc_latency(
     )
     for mode in modes:
         for size in rpc_sizes:
+            _obs_phase(f"Fig 9 {mode} rpc={size}")
             point = run_netperf_rpc(
                 mode,
                 size,
@@ -313,6 +324,7 @@ def fig10_rxtx(
     )
     for mode in modes:
         for cores in core_counts:
+            _obs_phase(f"Fig 10 {mode} cores={cores}")
             point = run_bidirectional_iperf(
                 mode,
                 cores,
@@ -349,6 +361,7 @@ def fig11_redis(
     )
     for mode in modes:
         for size in value_sizes:
+            _obs_phase(f"Fig 11a {mode} value={size}")
             point = run_redis(
                 mode,
                 size,
@@ -381,6 +394,7 @@ def fig11_nginx(
     )
     for mode in modes:
         for size in page_sizes:
+            _obs_phase(f"Fig 11b {mode} page={size}")
             point = run_nginx(
                 mode,
                 size,
@@ -412,6 +426,7 @@ def fig11_spdk(
     )
     for mode in modes:
         for size in block_sizes:
+            _obs_phase(f"Fig 11c {mode} block={size}")
             point = run_spdk(
                 mode,
                 size,
@@ -449,6 +464,7 @@ def fig12_ablation(
         ["mode", "value_bytes", "gbps", "l3/pg", "iotlb/pg"],
     )
     for mode in modes:
+        _obs_phase(f"Fig 12 {mode}")
         point = run_redis(
             mode,
             value_bytes,

@@ -31,6 +31,7 @@ from ..mem.physmem import PhysicalMemory
 from ..net.dctcp import DctcpReceiver, DctcpSender
 from ..net.packet import Packet, PacketKind
 from ..nic import Nic
+from ..obs.hooks import current_registry
 from ..pcie import DmaPipeline
 from ..protection import (
     DeferredDriver,
@@ -80,8 +81,12 @@ class Host:
         # the NIC wakes the DMA pump when the stall window closes.
         self.nic.on_wake = self._pump_rx_dma
         self.cores = CoreSet(sim, config.num_cores)
-        self.rx_pipeline = DmaPipeline(sim, config.pcie, config.pcie.rx_lanes)
-        self.tx_pipeline = DmaPipeline(sim, config.pcie, config.pcie.tx_lanes)
+        self.rx_pipeline = DmaPipeline(
+            sim, config.pcie, config.pcie.rx_lanes, label="rx"
+        )
+        self.tx_pipeline = DmaPipeline(
+            sim, config.pcie, config.pcie.tx_lanes, label="tx"
+        )
         self._flows: dict[int, _FlowBinding] = {}
         # Per-core NAPI state.
         self._napi_queues: list[deque[Packet]] = [
@@ -109,6 +114,24 @@ class Host:
         self.delivered_segments_by_flow: dict[int, int] = {}
         # App hook: called with (flow_id, segments) on in-order delivery.
         self.on_delivery: Optional[Callable[[int, int], None]] = None
+        self.obs = current_registry()
+        if self.obs is not None:
+            scope = self.obs.scope("host")
+            scope.counter(
+                "rx_data_segments", lambda: self.rx_data_segments
+            )
+            scope.counter("rx_data_bytes", lambda: self.rx_data_bytes)
+            scope.counter("rx_data_pages", lambda: self.rx_data_pages)
+            scope.counter("acks_sent", lambda: self.acks_sent)
+            scope.counter(
+                "tx_data_segments", lambda: self.tx_data_segments
+            )
+            scope.counter(
+                "tx_data_bytes", lambda: self.tx_data_bytes_sent
+            )
+            scope.gauge(
+                "mem_utilization", lambda: self._mem_utilization
+            )
         self._age_allocator()
         self._fill_rings()
 

@@ -13,6 +13,7 @@ from typing import Optional
 
 from ..faults.hooks import current_faults
 from ..net.switch import SwitchPort
+from ..obs.hooks import current_registry
 from ..sim import Simulator, Watchdog
 from .config import HostConfig
 from .remote import RemotePeer
@@ -86,6 +87,11 @@ class Testbed:
             # Fault windows are expressed on the simulated clock; bind
             # it before any injection site is constructed.
             faults.bind_clock(self.sim)
+        obs = current_registry()
+        if obs is not None:
+            # Bind the tracer clock and start the phase sampler before
+            # the subsystems below register their metrics.
+            obs.attach_simulator(self.sim)
         self.config = config
         self.port_to_host = SwitchPort(
             self.sim,

@@ -36,6 +36,7 @@ import enum
 from dataclasses import dataclass
 
 from ..faults.hooks import injector_for
+from ..obs.hooks import current_registry
 from ..verify.events import (
     FlushEvent,
     InvalidationEvent,
@@ -120,6 +121,13 @@ class InvalidationQueue:
         self.dropped_completions = 0
         self.partial_completions = 0
         self.delayed_completions = 0
+        self.obs = current_registry()
+        if self.obs is not None:
+            scope = self.obs.scope("invq")
+            scope.counter("dropped", lambda: self.dropped_completions)
+            scope.counter("partial", lambda: self.partial_completions)
+            scope.counter("delayed", lambda: self.delayed_completions)
+            scope.counter("cpu_ns", lambda: self.total_cpu_ns)
 
     # ------------------------------------------------------------------
     # Checked interface (hardened drivers)
@@ -176,6 +184,19 @@ class InvalidationQueue:
             )
         cost = self.cpu_cost_ns + extra_ns
         self.total_cpu_ns += cost
+        if self.obs is not None and self.obs.tracer is not None:
+            # The queue has no clock of its own: the span starts "now"
+            # on the tracer's bound simulated clock and lasts the
+            # submit-and-wait CPU cost.
+            self.obs.tracer.complete(
+                "invalidation",
+                "invq",
+                self.obs.tracer.now(),
+                cost,
+                iova=hex(iova),
+                length=length,
+                status=status.value,
+            )
         return InvalidationResult(cost, status, completed_length)
 
     def _apply(
@@ -255,6 +276,10 @@ class InvalidationQueue:
             self.monitor.record(FlushEvent(), owner=id(self.iotlb))
         cost = self.cpu_cost_ns + extra_ns
         self.total_cpu_ns += cost
+        if self.obs is not None and self.obs.tracer is not None:
+            self.obs.tracer.complete(
+                "flush", "invq", self.obs.tracer.now(), cost
+            )
         return InvalidationResult(
             cost, InvalidationStatus.COMPLETED, 0
         )

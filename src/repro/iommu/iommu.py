@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..mem.latency import DEFAULT_LM_NS, MemoryLatencyModel
+from ..obs.hooks import current_registry
 from ..verify.events import (
     DmaFaultEvent,
     MapEvent,
@@ -123,6 +124,26 @@ class Iommu:
         if self.config.walkers <= 0:
             raise ValueError("need at least one walker")
         self._walker_free = [0.0] * self.config.walkers
+        self.obs = current_registry()
+        if self.obs is not None:
+            scope = self.obs.scope("iommu")
+            scope.counter("translations", lambda: self.stats.translations)
+            scope.counter("iotlb_hits", lambda: self.stats.iotlb_hits)
+            scope.counter("iotlb_misses", lambda: self.stats.iotlb_misses)
+            scope.counter("walks", lambda: self.stats.walks)
+            scope.counter("memory_reads", lambda: self.stats.memory_reads)
+            scope.counter("faults", lambda: self.stats.faults)
+            scope.counter(
+                "invalidation_requests",
+                lambda: self.stats.invalidation_requests,
+            )
+            for level in (1, 2, 3):
+                scope.counter(
+                    f"ptcache_m{level}",
+                    lambda level=level: (
+                        self.stats.ptcache_counted_misses[level]
+                    ),
+                )
 
     # ------------------------------------------------------------------
     # Translation (the per-transaction fast path)
@@ -234,6 +255,14 @@ class Iommu:
         start = max(now, channels[index])
         finish = start + memory_reads * read_ns
         channels[index] = finish
+        if self.obs is not None and self.obs.tracer is not None:
+            self.obs.tracer.complete(
+                "walk",
+                f"walker{index}",
+                start,
+                finish - start,
+                reads=memory_reads,
+            )
         return finish
 
     @property

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..verify.events import IotlbEvictEvent
+from ..obs.hooks import current_registry
+from ..verify.events import InvalidationEvent, IotlbEvictEvent
 from ..verify.hooks import current_monitor
-from .addr import PAGE_SHIFT
+from .addr import PAGE_SHIFT, PAGE_SIZE
 
 __all__ = ["Iotlb"]
 
@@ -50,6 +51,15 @@ class Iotlb:
         self.evictions = 0
         # Safety-invariant monitor (repro.verify); None in normal runs.
         self.monitor = current_monitor()
+        self.obs = current_registry()
+        if self.obs is not None:
+            scope = self.obs.scope("iotlb")
+            scope.counter("hits", lambda: self.hits)
+            scope.counter("misses", lambda: self.misses)
+            scope.counter("invalidations", lambda: self.invalidations)
+            scope.counter("evictions", lambda: self.evictions)
+            scope.gauge("resident", lambda: self.resident_entries)
+            scope.gauge("huge_resident", lambda: len(self._huge))
 
     def _set_for(self, page_number: int) -> dict[int, int]:
         return self._sets[page_number % self.num_sets]
@@ -101,8 +111,8 @@ class Iotlb:
             self.evictions += 1
             if self.monitor is not None:
                 self.monitor.record(
-                IotlbEvictEvent(oldest << PAGE_SHIFT), owner=id(self)
-            )
+                    IotlbEvictEvent(oldest << PAGE_SHIFT), owner=id(self)
+                )
         entry_set[page_number] = frame
 
     def insert_huge(self, iova: int, base_frame: int) -> None:
@@ -116,14 +126,39 @@ class Iotlb:
         self._huge[key] = base_frame
 
     def invalidate_page(self, iova: int) -> bool:
-        """Drop the entry for one IOVA page; returns whether it existed."""
+        """Drop any entry translating one IOVA page; returns whether one
+        existed.
+
+        A page-granule invalidation must drop a *covering* 2 MB entry
+        too, not just an exact 4 KB match — hardware invalidates any
+        cached translation for the address, whatever its size.  Keeping
+        the huge entry would leave the device a stale translation for
+        the whole 2 MB region after a strict-mode per-page unmap.
+        """
         page_number = iova >> PAGE_SHIFT
         entry_set = self._set_for(page_number)
+        dropped = False
         if page_number in entry_set:
             del entry_set[page_number]
             self.invalidations += 1
-            return True
-        return False
+            dropped = True
+        huge_key = iova >> 21
+        if huge_key in self._huge:
+            del self._huge[huge_key]
+            self.invalidations += 1
+            dropped = True
+        if self.monitor is not None:
+            # The invalidation completes whether or not an entry was
+            # resident; afterwards any successful translation of this
+            # page is a use-after-unmap.  An IOTLB-level invalidation
+            # inherently leaves the PTcaches alone.
+            self.monitor.record(
+                InvalidationEvent(
+                    iova & ~(PAGE_SIZE - 1), PAGE_SIZE, True
+                ),
+                owner=id(self),
+            )
+        return dropped
 
     def invalidate_range(self, iova: int, length: int) -> int:
         """Drop all entries within ``[iova, iova + length)``.

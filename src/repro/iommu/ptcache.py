@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.hooks import current_registry
 from ..verify.events import PtCacheHitEvent
 from ..verify.hooks import current_monitor
 from .addr import LEVEL_SHIFTS, ptcache_key
@@ -50,6 +51,14 @@ class PtCache:
         self.evictions = 0
         # Safety-invariant monitor (repro.verify); None in normal runs.
         self.monitor = current_monitor()
+        self.obs = current_registry()
+        if self.obs is not None:
+            scope = self.obs.scope(f"ptcache.l{level}")
+            scope.counter("hits", lambda: self.hits)
+            scope.counter("misses", lambda: self.misses)
+            scope.counter("invalidations", lambda: self.invalidations)
+            scope.counter("evictions", lambda: self.evictions)
+            scope.gauge("resident", lambda: len(self._entries))
 
     def lookup(self, iova: int) -> Optional[object]:
         """Probe for the PT page covering ``iova`` at this level."""

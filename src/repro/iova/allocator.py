@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional, Protocol
 
 from ..iommu.addr import IOVA_BITS, PAGE_SHIFT
+from ..obs.hooks import current_registry
 from ..verify.events import IovaAllocEvent, IovaFreeEvent
 from ..verify.hooks import current_monitor
 from .rbtree import IovaRange, IovaRbTree
@@ -91,6 +92,13 @@ class RbTreeIovaAllocator:
         self.alloc_count = 0
         self.free_count = 0
         self.allocated_pages = 0
+        self.obs = current_registry()
+        if self.obs is not None:
+            scope = self.obs.scope("iova.rbtree")
+            scope.counter("allocs", lambda: self.alloc_count)
+            scope.counter("frees", lambda: self.free_count)
+            scope.counter("cpu_ns", lambda: self.total_cpu_ns)
+            scope.gauge("allocated_pages", lambda: self.allocated_pages)
         # Linux's cached-node optimization: the next gap scan resumes
         # from the last allocation instead of rescanning from the top,
         # keeping the common case O(1) even when higher address space

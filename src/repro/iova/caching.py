@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..iommu.addr import PAGE_SHIFT
+from ..obs.hooks import current_registry
 from ..verify.events import IovaAllocEvent, IovaFreeEvent
 from ..verify.hooks import current_monitor
 from .allocator import DEFAULT_LIMIT_PFN, RbTreeIovaAllocator
@@ -119,6 +120,15 @@ class CachingIovaAllocator:
         self.cache_misses = 0
         self.alloc_count = 0
         self.free_count = 0
+        self.obs = current_registry()
+        if self.obs is not None:
+            scope = self.obs.scope("iova.rcache")
+            scope.counter("cache_hits", lambda: self.cache_hits)
+            scope.counter("cache_misses", lambda: self.cache_misses)
+            scope.counter("allocs", lambda: self.alloc_count)
+            scope.counter("frees", lambda: self.free_count)
+            scope.counter("cpu_ns", lambda: self.total_cpu_ns)
+            scope.gauge("cached_iovas", lambda: self.cached_iova_count())
 
     # ------------------------------------------------------------------
     def _charge(self, cpu: int, cost_ns: float) -> None:
@@ -175,7 +185,6 @@ class CachingIovaAllocator:
         # Slow path: the rbtree (fresh address range, top-down).
         self.cache_misses += 1
         iova = self.rbtree.alloc(pages, cpu=cpu, align_pages=align_pages)
-        self.cpu_ns_by_core[cpu] = self.cpu_ns_by_core.get(cpu, 0.0)
         self._record(iova, pages, cpu)
         return iova
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.hooks import current_registry
 from .packet import ACK_SIZE_BYTES, Packet, PacketKind
 
 __all__ = ["DctcpSender", "DctcpReceiver", "DctcpParams"]
@@ -119,6 +120,19 @@ class DctcpSender:
         self.retransmissions = 0
         self.timeouts = 0
         self.fast_retransmits = 0
+        self.obs = current_registry()
+        if self.obs is not None:
+            scope = self.obs.scope(f"dctcp.flow{self.flow_id}")
+            scope.counter("segments_sent", lambda: self.segments_sent)
+            scope.counter(
+                "retransmissions", lambda: self.retransmissions
+            )
+            scope.counter("timeouts", lambda: self.timeouts)
+            scope.counter(
+                "fast_retransmits", lambda: self.fast_retransmits
+            )
+            scope.gauge("cwnd", lambda: self.cwnd)
+            scope.gauge("inflight", lambda: self.inflight)
 
     # ------------------------------------------------------------------
     # App interface

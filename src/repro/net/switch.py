@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..faults.hooks import injector_for
+from ..obs.hooks import current_registry
 from ..sim import FifoQueue, Simulator, TokenBucketPacer
 from .packet import Packet
 
@@ -43,6 +44,17 @@ class SwitchPort:
         self.faults = injector_for("net")
         self.injected_losses = 0
         self.reordered_packets = 0
+        self.obs = current_registry()
+        if self.obs is not None:
+            scope = self.obs.scope("switch.port")
+            scope.counter("delivered_bytes", lambda: self.delivered_bytes)
+            scope.counter("drops", lambda: self.drops)
+            scope.counter("injected_losses", lambda: self.injected_losses)
+            scope.counter(
+                "reordered_packets", lambda: self.reordered_packets
+            )
+            scope.counter("marked", lambda: self.queue.marked_items)
+            scope.gauge("queue_bytes", lambda: self.queue.occupancy_bytes)
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer a packet to the port; marks/drops per queue state."""

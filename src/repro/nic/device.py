@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..faults.hooks import injector_for
+from ..obs.hooks import current_registry
 from ..sim import FifoQueue, Simulator
 from .ring import RxRing
 
@@ -78,6 +79,32 @@ class Nic:
         self.on_wake: Optional[Callable[[], None]] = None
         self._wake_event = None
         self.stalled_dequeues = 0
+        self.obs = current_registry()
+        if self.obs is not None:
+            scope = self.obs.scope("nic")
+            stats = self.stats
+            scope.counter("arrived_packets", lambda: stats.arrived_packets)
+            scope.counter("arrived_bytes", lambda: stats.arrived_bytes)
+            scope.counter("buffer_drops", lambda: stats.buffer_drops)
+            scope.counter("ring_drops", lambda: stats.ring_drops)
+            scope.counter("dma_packets", lambda: stats.dma_packets)
+            scope.counter("dma_bytes", lambda: stats.dma_bytes)
+            scope.counter("stalled_dequeues", lambda: self.stalled_dequeues)
+            scope.counter(
+                "posted_descriptors",
+                lambda: sum(r.posted_descriptors for r in self.rings),
+            )
+            scope.counter(
+                "completed_descriptors",
+                lambda: sum(r.completed_descriptors for r in self.rings),
+            )
+            scope.counter(
+                "dropped_doorbells",
+                lambda: sum(r.dropped_doorbells for r in self.rings),
+            )
+            scope.gauge(
+                "buffered_bytes", lambda: self.input_buffer.occupancy_bytes
+            )
 
     def ring_for_flow(self, flow_id: int) -> RxRing:
         """aRFS steering: a flow always lands on the same core's ring."""

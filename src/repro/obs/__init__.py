@@ -1,0 +1,39 @@
+"""repro.obs: unified observability — metrics registry, sampler, tracer.
+
+The layer is opt-in and zero-cost when uninstalled: instrumented
+subsystems read :func:`current_registry` once at construction and skip
+all per-event work when it returns ``None`` (the default).  Install a
+registry around an experiment with::
+
+    from repro.obs import MetricsRegistry, SpanTracer, observed
+
+    registry = MetricsRegistry(
+        tracer=SpanTracer(), sample_interval_ns=100_000.0
+    )
+    with observed(registry):
+        result = run_iperf("strict", flows=2)
+    registry.report()          # metrics JSON document
+    registry.tracer.write("trace.json")   # Perfetto-loadable
+
+The CLI surfaces the same machinery as ``repro report`` and the global
+``--trace`` flag.  The wall-clock benchmark emitter lives in
+:mod:`repro.obs.bench` and is *not* imported here — it pulls in the
+full host stack and would cycle with instrumented modules.
+"""
+
+from .hooks import current_registry, observed, set_registry
+from .registry import Metric, MetricsRegistry, MetricsScope, Phase
+from .sampler import MetricsSampler
+from .tracer import SpanTracer
+
+__all__ = [
+    "current_registry",
+    "set_registry",
+    "observed",
+    "Metric",
+    "MetricsScope",
+    "Phase",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "SpanTracer",
+]

@@ -1,0 +1,143 @@
+"""Wall-clock benchmark emitter: how fast does the simulator simulate?
+
+``repro bench`` runs a fixed set of small iperf points, times them with
+the host's real clock and writes ``BENCH_sim.json`` — the one place in
+the library where wall-clock time is allowed (the lint rule REPRO001 is
+silenced explicitly).  The emitted document is schema-checked so CI can
+fail on malformed output rather than archiving junk.
+
+This module deliberately lives outside ``repro.obs.__init__``: it pulls
+in the whole host stack (apps → testbed → IOMMU), which would create an
+import cycle if executed while ``repro.obs`` itself is being imported
+by an instrumented module.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from ..host.config import HostConfig
+from ..host.testbed import Testbed
+
+__all__ = [
+    "BenchPoint",
+    "bench_points",
+    "run_bench",
+    "check_schema",
+    "write_bench",
+]
+
+SCHEMA = "repro.bench/1"
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One benchmark configuration: a small, deterministic iperf run."""
+
+    name: str
+    mode: str
+    flows: int
+    warmup_ns: float
+    measure_ns: float
+
+
+def bench_points(full: bool = False) -> list[BenchPoint]:
+    """The default benchmark set: one point per protection mode."""
+    warmup = 2_000_000.0 if not full else 4_000_000.0
+    measure = 3_000_000.0 if not full else 15_000_000.0
+    return [
+        BenchPoint("iperf_off", "off", 2, warmup, measure),
+        BenchPoint("iperf_strict", "strict", 2, warmup, measure),
+        BenchPoint("iperf_fns", "fns", 2, warmup, measure),
+    ]
+
+
+def _run_point(point: BenchPoint) -> dict:
+    config = HostConfig.cascade_lake(mode=point.mode)
+    testbed = Testbed(config)
+    testbed.add_rx_flows(point.flows)
+    # Wall-clock by design: this module measures the simulator itself.
+    start = time.perf_counter()  # noqa: REPRO001
+    result = testbed.run(
+        warmup_ns=point.warmup_ns, measure_ns=point.measure_ns
+    )
+    wall_s = time.perf_counter() - start  # noqa: REPRO001
+    sim_ns = point.warmup_ns + point.measure_ns
+    return {
+        "name": point.name,
+        "mode": point.mode,
+        "flows": point.flows,
+        "wall_s": wall_s,
+        "sim_ns": sim_ns,
+        "events": testbed.sim.executed_events,
+        "events_per_wall_s": (
+            testbed.sim.executed_events / wall_s if wall_s > 0 else 0.0
+        ),
+        "sim_ns_per_wall_s": sim_ns / wall_s if wall_s > 0 else 0.0,
+        "rx_goodput_gbps": result.rx_goodput_gbps,
+    }
+
+
+def run_bench(full: bool = False) -> dict:
+    """Run every benchmark point and return the ``BENCH_sim.json`` doc."""
+    benchmarks = [_run_point(point) for point in bench_points(full)]
+    return {
+        "schema": SCHEMA,
+        "benchmarks": benchmarks,
+        "total_wall_s": sum(b["wall_s"] for b in benchmarks),
+    }
+
+
+_REQUIRED_POINT_KEYS = {
+    "name": str,
+    "mode": str,
+    "flows": int,
+    "wall_s": (int, float),
+    "sim_ns": (int, float),
+    "events": int,
+    "events_per_wall_s": (int, float),
+    "sim_ns_per_wall_s": (int, float),
+}
+
+
+def check_schema(doc: object) -> list[str]:
+    """Validate a ``BENCH_sim.json`` document; returns problem strings."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(
+            f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        problems.append("benchmarks must be a non-empty list")
+        benchmarks = []
+    for i, bench in enumerate(benchmarks):
+        if not isinstance(bench, dict):
+            problems.append(f"benchmarks[{i}] must be an object")
+            continue
+        for key, kinds in _REQUIRED_POINT_KEYS.items():
+            value = bench.get(key)
+            if not isinstance(value, kinds) or isinstance(value, bool):
+                problems.append(
+                    f"benchmarks[{i}].{key} missing or wrong type"
+                )
+        wall = bench.get("wall_s")
+        if isinstance(wall, (int, float)) and wall <= 0:
+            problems.append(f"benchmarks[{i}].wall_s must be positive")
+    total = doc.get("total_wall_s")
+    if not isinstance(total, (int, float)):
+        problems.append("total_wall_s missing or wrong type")
+    return problems
+
+
+def write_bench(path: str, full: bool = False) -> dict:
+    """Run the benchmarks and write the document to ``path``."""
+    doc = run_bench(full=full)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    return doc

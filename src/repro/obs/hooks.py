@@ -1,0 +1,52 @@
+"""Global metrics-registry registration: how instrumented modules find it.
+
+Same pattern as :mod:`repro.verify.hooks` and :mod:`repro.faults.hooks`:
+instrumented classes (the IOTLB, PTcaches, allocators, queues, NIC,
+PCIe pipelines, drivers) read :func:`current_registry` once at
+construction time and keep the result in an ``obs`` attribute.  Every
+per-event emission site is guarded by ``if self.obs is not None``, so
+with no registry installed the observability layer costs one attribute
+load and a pointer comparison — no metric objects, samples or trace
+events exist, keeping benchmark numbers unaffected.
+
+This module is a leaf: it must not import anything from ``repro`` so
+that every instrumented module can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .registry import MetricsRegistry
+
+__all__ = ["current_registry", "set_registry", "observed"]
+
+_REGISTRY: Optional["MetricsRegistry"] = None
+
+
+def current_registry() -> Optional["MetricsRegistry"]:
+    """The globally installed registry, or ``None`` (the fast default)."""
+    return _REGISTRY
+
+
+def set_registry(registry: Optional["MetricsRegistry"]) -> None:
+    """Install ``registry`` globally; new instrumented objects attach."""
+    global _REGISTRY
+    _REGISTRY = registry
+
+
+@contextlib.contextmanager
+def observed(registry: "MetricsRegistry") -> Iterator["MetricsRegistry"]:
+    """Install ``registry`` for the duration of a ``with`` block.
+
+    Objects constructed inside the block (testbeds, hosts, IOMMUs)
+    register their metrics; objects constructed outside are untouched.
+    """
+    previous = current_registry()
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

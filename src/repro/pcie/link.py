@@ -31,6 +31,7 @@ from typing import Callable
 
 from ..faults.hooks import injector_for
 from ..mem.latency import DEFAULT_L0_NS
+from ..obs.hooks import current_registry
 from ..sim import Simulator
 
 __all__ = ["DmaPipeline", "PcieConfig"]
@@ -71,12 +72,14 @@ class DmaPipeline:
         sim: Simulator,
         config: PcieConfig,
         lanes: int,
+        label: str = "dma",
     ) -> None:
         if lanes <= 0:
             raise ValueError("need at least one lane")
         self.sim = sim
         self.config = config
         self.lanes = lanes
+        self.label = label  # direction tag for metrics/trace ("rx"/"tx")
         self._busy = 0
         self._pending: deque[tuple[int, BeginFn, FinishFn]] = deque()
         self._wire_busy_until = 0.0
@@ -87,6 +90,16 @@ class DmaPipeline:
         self.faults = injector_for("pcie")
         self.held_dmas = 0  # DMAs delayed by a link flap
         self.replayed_dmas = 0  # DMAs that ate a NACK/replay penalty
+        self.obs = current_registry()
+        if self.obs is not None:
+            scope = self.obs.scope(f"pcie.{label}")
+            scope.counter("dmas", lambda: self.completed_dmas)
+            scope.counter("bytes", lambda: self.completed_bytes)
+            scope.counter("held", lambda: self.held_dmas)
+            scope.counter("replayed", lambda: self.replayed_dmas)
+            scope.counter("busy_ns", lambda: self.busy_ns)
+            scope.gauge("inflight", lambda: self.inflight)
+            scope.gauge("queued", lambda: self.queued)
 
     # ------------------------------------------------------------------
     def submit(self, size_bytes: int, begin: BeginFn, finish: FinishFn) -> None:
@@ -143,6 +156,14 @@ class DmaPipeline:
                 self.replayed_dmas += 1
                 completion += penalty
         self.busy_ns += completion - start
+        if self.obs is not None and self.obs.tracer is not None:
+            self.obs.tracer.complete(
+                "dma",
+                f"pcie.{self.label}",
+                start,
+                completion - start,
+                bytes=size_bytes,
+            )
         self.sim.call_at(
             completion, lambda s=size_bytes, f=finish: self._complete(s, f)
         )

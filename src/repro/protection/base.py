@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any
 
 from ..iommu.invalidation import InvalidationStatus
 from ..nic.descriptor import RxDescriptor
+from ..obs.hooks import current_registry
 from ..verify.events import BufferRegisteredEvent, BufferRetiredEvent
 from ..verify.hooks import current_monitor
 
@@ -80,6 +81,15 @@ class ProtectionDriver(ABC):
         # waits and last-resort global flushes.
         self.invalidation_retries = 0
         self.degraded_flushes = 0
+        self.obs = current_registry()
+        if self.obs is not None:
+            scope = self.obs.scope("driver")
+            scope.counter(
+                "invalidation_retries", lambda: self.invalidation_retries
+            )
+            scope.counter(
+                "degraded_flushes", lambda: self.degraded_flushes
+            )
 
     # ------------------------------------------------------------------
     # Hardened invalidation (timeout-retry-backoff + degradation)
@@ -121,8 +131,19 @@ class ProtectionDriver(ABC):
             remaining -= result.completed_length
             self.invalidation_retries += 1
             cost += self.invalidation_backoff_ns * (2 ** attempt)
+            if self.obs is not None and self.obs.tracer is not None:
+                self.obs.tracer.instant(
+                    "invalidation.retry",
+                    "driver",
+                    iova=hex(remaining_iova),
+                    attempt=attempt + 1,
+                )
         self.degraded_flushes += 1
         cost += queue.flush_all()
+        if self.obs is not None and self.obs.tracer is not None:
+            self.obs.tracer.instant(
+                "invalidation.degraded_flush", "driver", iova=hex(iova)
+            )
         return cost
 
     # ------------------------------------------------------------------

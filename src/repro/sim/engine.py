@@ -85,13 +85,24 @@ class Event:
     deletion" keeps cancellation O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "housekeeping")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], Any]):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], Any],
+        housekeeping: bool = False,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        # Housekeeping events (watchdog ticks, metrics-sampler ticks)
+        # observe the run without being part of the workload: they are
+        # excluded from ``alive_events`` so they neither mask early
+        # quiescence nor keep each other alive forever.
+        self.housekeeping = housekeeping
 
     def cancel(self) -> None:
         """Prevent this event's callback from running."""
@@ -125,6 +136,7 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._stopped = False
+        self.executed_events = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -137,26 +149,40 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def call_at(self, time: float, callback: Callable[[], Any]) -> Event:
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        housekeeping: bool = False,
+    ) -> Event:
         """Schedule ``callback`` to run at absolute simulated ``time``.
 
         Returns an :class:`Event` handle that may be cancelled.  Raises
         :class:`SimulationError` if ``time`` is in the past.
+        ``housekeeping=True`` marks the event as an observer (watchdog
+        or sampler tick) that does not count toward :attr:`alive_events`.
         """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is {self._now})"
             )
-        event = Event(time, self._seq, callback)
+        event = Event(time, self._seq, callback, housekeeping=housekeeping)
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
 
-    def call_after(self, delay: float, callback: Callable[[], Any]) -> Event:
+    def call_after(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        housekeeping: bool = False,
+    ) -> Event:
         """Schedule ``callback`` to run ``delay`` ns from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.call_at(self._now + delay, callback)
+        return self.call_at(
+            self._now + delay, callback, housekeeping=housekeeping
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -172,6 +198,7 @@ class Simulator:
             if event.cancelled:
                 continue
             self._now = event.time
+            self.executed_events += 1
             event.callback()
             return True
         return False
@@ -209,6 +236,7 @@ class Simulator:
                 if event.cancelled:
                     continue
                 self._now = event.time
+                self.executed_events += 1
                 event.callback()
         finally:
             self._running = False
@@ -229,13 +257,24 @@ class Simulator:
 
     @property
     def alive_events(self) -> int:
-        """Number of non-cancelled events in the calendar."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Non-cancelled workload events in the calendar.
+
+        Housekeeping events (watchdog / sampler ticks) are excluded:
+        they observe the run and must not make a drained workload look
+        alive — nor keep each other ticking forever.
+        """
+        return sum(
+            1
+            for event in self._heap
+            if not event.cancelled and not event.housekeeping
+        )
 
     def pending_event_summary(self, limit: int = 16) -> list[str]:
         """The next ``limit`` alive events, formatted for diagnostics."""
         alive = sorted(
-            event for event in self._heap if not event.cancelled
+            event
+            for event in self._heap
+            if not event.cancelled and not event.housekeeping
         )
         lines = []
         for event in alive[:limit]:
@@ -292,7 +331,7 @@ class Watchdog:
             return
         self._armed = True
         self._last = self.progress()
-        self.sim.call_after(self.interval_ns, self._tick)
+        self.sim.call_after(self.interval_ns, self._tick, housekeeping=True)
 
     def _tick(self) -> None:
         self.checks += 1
@@ -302,6 +341,10 @@ class Watchdog:
             return
         current = self.progress()
         if current == self._last:
+            # Disarm before raising so the watchdog can be re-armed for
+            # another run attempt; otherwise ``arm()`` would be a silent
+            # no-op forever after the first error.
+            self._armed = False
             raise WatchdogError(
                 f"no progress for {self.interval_ns:.0f}ns with "
                 f"{self.sim.alive_events} events pending "
@@ -309,4 +352,4 @@ class Watchdog:
                 self.sim.pending_event_summary(self.trace_limit),
             )
         self._last = current
-        self.sim.call_after(self.interval_ns, self._tick)
+        self.sim.call_after(self.interval_ns, self._tick, housekeeping=True)

@@ -103,3 +103,63 @@ def test_miss_rate():
     tlb.insert(0x1000, 1)
     tlb.lookup(0x1000)
     assert tlb.miss_rate == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# Huge-entry interaction with page-granule invalidation (regression:
+# invalidate_page used to leave a covering 2 MB entry resident).
+# ---------------------------------------------------------------------------
+def test_invalidate_page_drops_covering_huge_entry():
+    tlb = Iotlb(entries=8, ways=2)
+    tlb.insert_huge(0, 1000)
+    assert tlb.lookup(0x3000) == 1003
+    # A 4 KB-granule invalidation inside the huge region must drop the
+    # covering 2 MB entry: afterwards no address in the region hits.
+    assert tlb.invalidate_page(0x3000)
+    assert tlb.lookup(0x3000) is None
+    assert tlb.lookup(0x0) is None
+    assert tlb.lookup(0x1FF000) is None
+    assert not tlb.contains(0x3000)
+
+
+def test_invalidate_page_drops_both_4k_and_huge():
+    tlb = Iotlb(entries=8, ways=2)
+    tlb.insert(0x3000, 7)
+    tlb.insert_huge(0, 1000)
+    assert tlb.invalidate_page(0x3000)
+    assert tlb.invalidations == 2
+    assert tlb.resident_entries == 0
+
+
+def test_invalidate_page_misses_other_huge_regions():
+    tlb = Iotlb(entries=8, ways=2)
+    tlb.insert_huge(0, 1000)
+    tlb.insert_huge(2 << 20, 2000)
+    assert tlb.invalidate_page(0x3000)
+    assert tlb.lookup(0x3000) is None
+    # The neighbouring region's entry must survive.
+    assert tlb.lookup((2 << 20) + 0x1000) == 2001
+
+
+def test_invalidate_range_mixed_4k_and_huge():
+    tlb = Iotlb(entries=64, ways=4)
+    # 4 KB entries straddling the range boundary plus two huge regions.
+    tlb.insert(0x1000, 1)
+    tlb.insert((2 << 20) + 0x1000, 2)
+    tlb.insert_huge(0, 1000)
+    tlb.insert_huge(2 << 20, 2000)
+    dropped = tlb.invalidate_range(0, 2 << 20)
+    # First huge region + its 4 KB entry; second region untouched.
+    assert dropped == 2
+    assert tlb.lookup(0x1000) is None
+    assert tlb.lookup((2 << 20) + 0x1000) == 2
+    assert tlb.contains(2 << 20)
+
+
+def test_invalidate_range_partial_huge_overlap_drops_entry():
+    tlb = Iotlb(entries=8, ways=2)
+    tlb.insert_huge(0, 1000)
+    # Any overlap with the 2 MB region drops the whole entry (a huge
+    # translation cannot be partially invalidated).
+    assert tlb.invalidate_range(0x1FF000, PAGE_SIZE) == 1
+    assert tlb.lookup(0) is None

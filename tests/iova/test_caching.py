@@ -167,3 +167,27 @@ class TestLocalityDegradation:
         with_tx_jumps = run_churn(acks_per_round=4)
         # Tx interference strictly degrades allocation-order locality.
         assert with_tx_jumps > 2 * max(no_tx_jumps, 1)
+
+
+class TestSlowPathCharging:
+    def test_slow_path_charges_rbtree_not_rcache(self):
+        # Regression: the slow path used to plant a spurious 0.0 entry
+        # in the rcache's own per-core ledger on every miss.
+        alloc = CachingIovaAllocator(num_cpus=2)
+        alloc.alloc(1, cpu=1)  # cold cache -> rbtree
+        assert alloc.cache_misses == 1
+        assert alloc.cpu_ns_by_core == {}
+        assert alloc.rbtree.cpu_ns_by_core[1] > 0.0
+        assert alloc.total_cpu_ns == alloc.rbtree.total_cpu_ns
+
+    def test_fast_path_still_charges_rcache(self):
+        alloc = CachingIovaAllocator(num_cpus=1)
+        iova = alloc.alloc(1)
+        alloc.free(iova, 1)
+        tree_before = alloc.rbtree.total_cpu_ns
+        own_before = alloc.cpu_ns_by_core.get(0, 0.0)
+        alloc.alloc(1)  # magazine hit
+        assert (
+            alloc.cpu_ns_by_core[0] - own_before == alloc.cache_hit_cost_ns
+        )
+        assert alloc.rbtree.total_cpu_ns == tree_before

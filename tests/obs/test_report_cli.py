@@ -1,0 +1,112 @@
+"""CLI surface: ``repro report``, ``repro bench`` and the global --trace."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import bench
+
+
+@pytest.fixture()
+def chdir_tmp(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_report_unknown_figure():
+    assert main(["report", "nope"]) == 2
+
+
+def test_report_writes_metrics_and_trace(chdir_tmp, capsys):
+    metrics = chdir_tmp / "m.json"
+    trace = chdir_tmp / "t.json"
+    status = main(
+        [
+            "report",
+            "fig12",
+            "--out",
+            str(metrics),
+            "--trace",
+            str(trace),
+            "--interval-ns",
+            "200000",
+        ]
+    )
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "translations" in out  # summary table rendered
+
+    doc = json.loads(metrics.read_text())
+    assert doc["schema"] == "repro.obs/1"
+    assert len(doc["phases"]) >= 2  # one per ablation mode
+    labels = [phase["label"] for phase in doc["phases"]]
+    assert any("Fig 12" in label for label in labels)
+    strict = doc["phases"][0]
+    assert strict["final"]["iommu.translations"] > 0
+    assert len(strict["samples"]["t_ns"]) > 0
+
+    trace_doc = json.loads(trace.read_text())
+    events = trace_doc["traceEvents"]
+    assert trace_doc["displayTimeUnit"] == "ns"
+    assert any(e["ph"] == "X" and e["name"] == "dma" for e in events)
+    # Phases land in distinct Chrome-trace processes.
+    assert len({e["pid"] for e in events}) >= 2
+
+
+def test_global_trace_flag(chdir_tmp):
+    trace = chdir_tmp / "run_trace.json"
+    assert main(["fig12", "--trace", str(trace)]) == 0
+    doc = json.loads(trace.read_text())
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def test_bench_writes_and_checks(chdir_tmp, capsys):
+    out = chdir_tmp / "BENCH_sim.json"
+    assert main(["bench", "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert bench.check_schema(doc) == []
+    assert doc["schema"] == "repro.bench/1"
+    assert {b["mode"] for b in doc["benchmarks"]} == {"off", "strict", "fns"}
+    for point in doc["benchmarks"]:
+        assert point["wall_s"] > 0
+        assert point["events"] > 0
+    assert main(["bench", "--check", str(out)]) == 0
+    assert "schema OK" in capsys.readouterr().out
+
+
+def test_bench_check_rejects_malformed(chdir_tmp, capsys):
+    bad = chdir_tmp / "bad.json"
+    bad.write_text(json.dumps({"schema": "repro.bench/1", "benchmarks": []}))
+    assert main(["bench", "--check", str(bad)]) == 1
+    assert "schema problem" in capsys.readouterr().err
+
+
+def test_check_schema_catches_field_problems():
+    good = {
+        "schema": "repro.bench/1",
+        "benchmarks": [
+            {
+                "name": "x",
+                "mode": "off",
+                "flows": 1,
+                "wall_s": 0.5,
+                "sim_ns": 1000.0,
+                "events": 10,
+                "events_per_wall_s": 20.0,
+                "sim_ns_per_wall_s": 2000.0,
+            }
+        ],
+        "total_wall_s": 0.5,
+    }
+    assert bench.check_schema(good) == []
+    missing = json.loads(json.dumps(good))
+    del missing["benchmarks"][0]["events"]
+    assert any("events" in p for p in bench.check_schema(missing))
+    negative = json.loads(json.dumps(good))
+    negative["benchmarks"][0]["wall_s"] = 0
+    assert any("wall_s" in p for p in bench.check_schema(negative))
+    assert bench.check_schema([]) != []
+    assert any(
+        "schema" in p for p in bench.check_schema({"schema": "other"})
+    )

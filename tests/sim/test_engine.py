@@ -244,3 +244,73 @@ def test_watchdog_rejects_bad_interval():
     sim = Simulator()
     with pytest.raises(SimulationError, match="interval"):
         Watchdog(sim, interval_ns=0.0, progress=lambda: 0)
+
+
+def test_watchdog_rearms_after_error():
+    # Regression: _armed used to stay True after a WatchdogError, so a
+    # second arm() was a silent no-op and the next run was unguarded.
+    sim = Simulator()
+
+    def spin():
+        sim.call_after(1.0, spin)
+
+    sim.call_after(0.0, spin)
+    watchdog = Watchdog(sim, interval_ns=100.0, progress=lambda: 0)
+    watchdog.arm()
+    with pytest.raises(WatchdogError):
+        sim.run(until=10_000.0)
+    first_checks = watchdog.checks
+    watchdog.arm()
+    with pytest.raises(WatchdogError):
+        sim.run(until=20_000.0)
+    assert watchdog.checks > first_checks
+
+
+# ---------------------------------------------------------------------------
+# Housekeeping events: observers are invisible to alive_events
+# ---------------------------------------------------------------------------
+def test_housekeeping_excluded_from_alive_events():
+    sim = Simulator()
+    sim.call_after(10.0, lambda: None)
+    sim.call_after(5.0, lambda: None, housekeeping=True)
+    assert sim.pending_events == 2
+    assert sim.alive_events == 1
+
+
+def test_housekeeping_excluded_from_pending_summary():
+    sim = Simulator()
+
+    def workload():
+        return None
+
+    def observer():
+        return None
+
+    sim.call_after(10.0, workload)
+    sim.call_after(5.0, observer, housekeeping=True)
+    lines = sim.pending_event_summary()
+    assert len(lines) == 1
+    assert "workload" in lines[0]
+
+
+def test_housekeeping_only_calendar_triggers_early_quiescence():
+    sim = Simulator()
+    sim.call_after(1.0, lambda: None)
+    # A periodic observer alone must not mask the drained workload.
+    def tick():
+        if sim.now < 400.0:
+            sim.call_after(100.0, tick, housekeeping=True)
+
+    sim.call_after(100.0, tick, housekeeping=True)
+    with pytest.raises(EarlyQuiescenceError):
+        sim.run(until=10_000.0, strict_until=True)
+
+
+def test_executed_events_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.call_after(float(i), lambda: None)
+    cancelled = sim.call_after(10.0, lambda: None)
+    cancelled.cancel()
+    sim.run()
+    assert sim.executed_events == 5
