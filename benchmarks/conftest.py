@@ -34,3 +34,21 @@ def record_figure():
 def run_once(benchmark, fn, *args, **kwargs):
     """Run a figure sweep exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def assert_expectations(figure_key, result, metrics=None):
+    """Evaluate a figure's paper-claims spec; fail on violated claims.
+
+    The same spec drives ``repro reproduce`` and the generated
+    REPORT.md, so the benchmark suite and the report cannot disagree
+    about what the paper claims or whether the reproduction meets it.
+    """
+    from repro.obs.expect import evaluate_figure
+
+    evaluation = evaluate_figure(figure_key, result, metrics=metrics)
+    print(evaluation.format())
+    failed = evaluation.failures
+    assert not failed, "violated paper claims:\n" + "\n".join(
+        outcome.describe() for outcome in failed
+    )
+    return evaluation

@@ -9,9 +9,12 @@ Paper's findings:
 (c) SPDK: Linux strict caps well below line rate; F&S matches
     IOMMU-off except a small gap at 32 KB blocks (request-packet IOTLB
     contention).
+
+Claims (including the documented strict-under-degradation deviation on
+bulk 9 K-MTU workloads) live in ``repro.obs.expectations.fig11a/b/c``.
 """
 
-from conftest import run_once
+from conftest import assert_expectations, run_once
 
 from repro.experiments import QUICK, fig11_nginx, fig11_redis, fig11_spdk
 
@@ -19,59 +22,16 @@ from repro.experiments import QUICK, fig11_nginx, fig11_redis, fig11_spdk
 def test_redis(benchmark, record_figure):
     result = run_once(benchmark, fig11_redis, scale=QUICK)
     record_figure(result)
-    for size in (4096, 8192):
-        off = result.row("off", size)
-        strict = result.row("strict", size)
-        fns = result.row("fns", size)
-        # The paper's 38-70% degradation band reproduces at small
-        # values (the protection-heavy regime: one reply per SET).
-        assert strict[2] < off[2] * 0.75
-        assert fns[2] > strict[2] * 1.15
-    for size in (32768, 131072):
-        # At large values our strict mode under-degrades vs the paper
-        # (walk overlap hides the per-miss cost at 9 K MTU; see
-        # EXPERIMENTS.md) — assert no inversion and the F&S ordering.
-        assert result.row("strict", size)[2] <= result.row("off", size)[2] * 1.02
-        assert result.row("fns", size)[2] >= result.row("strict", size)[2] * 0.98
-    # Degradation worsens at smaller values (relative throughput).
-    small = result.row("strict", 4096)[2] / result.row("off", 4096)[2]
-    large = result.row("strict", 131072)[2] / result.row("off", 131072)[2]
-    assert small <= large + 0.05
-    # F&S near off at large values; small residual gap allowed at 4 KB.
-    assert result.row("fns", 131072)[2] > result.row("off", 131072)[2] * 0.9
+    assert_expectations("fig11a", result)
 
 
 def test_nginx(benchmark, record_figure):
     result = run_once(benchmark, fig11_nginx, scale=QUICK)
     record_figure(result)
-    for size in (131072, 524288, 2097152):
-        off = result.row("off", size)
-        strict = result.row("strict", size)
-        fns = result.row("fns", size)
-        # Application-limited ceiling below line rate even with IOMMU off.
-        assert off[2] < 99.0
-        # Deviation (EXPERIMENTS.md): our strict mode shows little
-        # degradation on Nginx's large-page pattern; assert the
-        # orderings that do hold.
-        assert strict[2] <= off[2] * 1.1
-        assert fns[2] > off[2] * 0.85
+    assert_expectations("fig11b", result)
 
 
 def test_spdk(benchmark, record_figure):
     result = run_once(benchmark, fig11_spdk, scale=QUICK)
     record_figure(result)
-    for size in (32768, 65536):
-        off = result.row("off", size)
-        strict = result.row("strict", size)
-        fns = result.row("fns", size)
-        # Small/medium blocks: visible strict degradation, F&S ~ off.
-        assert strict[2] < off[2] * 0.95
-        assert fns[2] > strict[2]
-        assert fns[2] > off[2] * 0.95
-    assert result.row("strict", 262144)[2] <= result.row("off", 262144)[2] * 1.02
-    # IOTLB contention grows at small block sizes for strict (~1.5x in
-    # the paper between 256 KB and 32 KB blocks).
-    assert (
-        result.row("strict", 32768)[4]
-        > result.row("strict", 262144)[4] * 1.05
-    )
+    assert_expectations("fig11c", result)

@@ -5,9 +5,10 @@ batched invalidations.  Paper's finding on Redis 8 KB SETs: neither
 Linux+A nor Linux+B alone reaches F&S — preserving alone still leaves
 the locality-driven PTcache-L3 misses, contiguity alone still pays the
 invalidation-driven misses — only A+B (F&S) recovers the throughput.
+Claims live in ``repro.obs.expectations.fig12``.
 """
 
-from conftest import run_once
+from conftest import assert_expectations, run_once
 
 from repro.experiments import QUICK, fig12_ablation
 
@@ -15,17 +16,4 @@ from repro.experiments import QUICK, fig12_ablation
 def test_fig12(benchmark, record_figure):
     result = run_once(benchmark, fig12_ablation, scale=QUICK)
     record_figure(result)
-    gbps = {row[0]: row[2] for row in result.rows}
-    l3 = {row[0]: row[3] for row in result.rows}
-    # Ordering: Linux lowest; each single idea helps but is not enough;
-    # F&S approaches IOMMU-off.
-    assert gbps["strict"] < gbps["linux+A"]
-    assert gbps["strict"] < gbps["linux+B"]
-    assert gbps["linux+A"] < gbps["fns"]
-    assert gbps["linux+B"] < gbps["fns"]
-    assert gbps["fns"] > gbps["off"] * 0.9
-    # Mechanisms: A alone still suffers locality-driven L3 misses; B
-    # alone still suffers invalidation-driven L3 misses; F&S neither.
-    assert l3["linux+A"] > 0.02
-    assert l3["linux+B"] > 0.02
-    assert l3["fns"] < 0.02
+    assert_expectations("fig12", result)

@@ -3,10 +3,13 @@
 Paper's findings: throughput degradation grows with ring size (up to
 15% extra) because the IOVA working set — and hence the PTcache-L3
 working set — grows 8x with an 8x ring increase, while IOTLB misses
-stay roughly constant (still one compulsory miss per page).
+stay roughly constant (still one compulsory miss per page).  Our
+deviation (L3 misses substantial but not growing) is documented in
+EXPERIMENTS.md; the spec in ``repro.obs.expectations.fig3`` asserts
+the shapes that do reproduce.
 """
 
-from conftest import run_once
+from conftest import assert_expectations, run_once
 
 from repro.experiments import QUICK, fig3_ring
 
@@ -14,18 +17,4 @@ from repro.experiments import QUICK, fig3_ring
 def test_fig3(benchmark, record_figure):
     result = run_once(benchmark, fig3_ring, scale=QUICK)
     record_figure(result)
-    small = result.row("strict", 256)
-    large = result.row("strict", 2048)
-    # Strict always degrades vs off.
-    for ring in (256, 2048):
-        assert result.row("strict", ring)[2] < result.row("off", ring)[2]
-    # IOTLB misses stay in the same band (compulsory-dominated) ...
-    assert abs(large[4] - small[4]) < 0.5
-    # ... while PTcache-L3 misses remain substantial at every ring
-    # size.  (Deviation from the paper: its L3 misses *grow* with ring
-    # size via allocator-state diffusion over minutes of uptime, which
-    # a millisecond-scale simulation cannot accumulate; see
-    # EXPERIMENTS.md.)
-    assert small[7] > 0.1 and large[7] > 0.1
-    # Locality stays poor at every ring size (Fig 3e).
-    assert small[10] >= 10 and large[10] >= 10
+    assert_expectations("fig3", result)

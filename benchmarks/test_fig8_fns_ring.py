@@ -4,9 +4,10 @@ Paper's findings: F&S throughput stays at the IOMMU-off level across
 ring sizes (with a small CPU-side gap at 2048 — §4.4), PTcache-L3
 misses stay near zero independent of working-set size (at most 0.053
 per page in the paper), and locality is guaranteed per descriptor.
+Claims live in ``repro.obs.expectations.fig8``.
 """
 
-from conftest import run_once
+from conftest import assert_expectations, run_once
 
 from repro.experiments import QUICK, fig8_fns_ring
 
@@ -14,19 +15,4 @@ from repro.experiments import QUICK, fig8_fns_ring
 def test_fig8(benchmark, record_figure):
     result = run_once(benchmark, fig8_fns_ring, scale=QUICK)
     record_figure(result)
-    for ring in (256, 512, 1024, 2048):
-        off = result.row("off", ring)
-        fns = result.row("fns", ring)
-        strict = result.row("strict", ring)
-        # F&S close to off everywhere (a small gap is allowed at large
-        # rings, where it becomes CPU-bound).
-        floor = 0.85 if ring >= 2048 else 0.93
-        assert fns[2] > off[2] * floor
-        assert strict[2] < fns[2]
-        # PTcache-L3 misses independent of working-set size.
-        assert fns[7] <= 0.054
-        assert fns[5] == 0 and fns[6] == 0
-    # F&S locality does not degrade with ring size (p95 distance flat).
-    assert result.row("fns", 2048)[10] <= result.row("fns", 256)[10] + 2
-    # Linux strict L3 misses stay substantial at every ring size.
-    assert result.row("strict", 2048)[7] > 0.1
+    assert_expectations("fig8", result)

@@ -1,14 +1,15 @@
 """Section 2.2's analytic model: T = p / (l0 + M * lm).
 
 The paper fits l0 = 65 ns and lm = 197 ns and reports the model within
-~10% of measured throughput.  Here we check both directions against
-the simulator: the paper's constants predict the simulator's measured
+~10% of measured throughput.  The spec in
+``repro.obs.expectations.model`` checks both directions against the
+simulator: the paper's constants predict the simulator's measured
 strict-mode throughput from its measured M within 20%, and re-fitting
 the constants from the simulated sweep yields non-degenerate values in
 the same magnitude range.
 """
 
-from conftest import run_once
+from conftest import assert_expectations, run_once
 
 from repro.experiments import QUICK, model_fit
 
@@ -16,13 +17,4 @@ from repro.experiments import QUICK, model_fit
 def test_model_fit(benchmark, record_figure):
     result = run_once(benchmark, model_fit, scale=QUICK)
     record_figure(result)
-    # Paper-constant predictions within 20% at every point.
-    for row in result.rows:
-        assert result.raw[("error", row[0])] < 0.20
-    # The refit is physically sensible (non-negative latencies, right
-    # magnitude for the combined constant).
-    l0, lm = result.raw["l0_ns"], result.raw["lm_ns"]
-    assert l0 >= 0 and lm >= 0
-    # At M ~ 1.7 the combined per-packet latency should be 300-550 ns.
-    combined = l0 + 1.7 * lm
-    assert 250.0 < combined < 600.0
+    assert_expectations("model", result)

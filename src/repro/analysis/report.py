@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table", "format_figure"]
+__all__ = ["format_table", "format_figure", "format_markdown_table"]
 
 
 def format_table(
@@ -40,6 +40,28 @@ def format_figure(
     if notes:
         block.append(notes)
     return "\n" + "\n".join(block) + "\n"
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """GitHub-flavored markdown table (for the generated REPORT.md)."""
+
+    def line(parts: Sequence[str]) -> str:
+        return "| " + " | ".join(parts) + " |"
+
+    out = [
+        line([_md_escape(_fmt(h)) for h in headers]),
+        line(["---"] * len(headers)),
+    ]
+    out.extend(
+        line([_md_escape(_fmt(value)) for value in row]) for row in rows
+    )
+    return "\n".join(out)
+
+
+def _md_escape(text: str) -> str:
+    return text.replace("|", "\\|")
 
 
 def _fmt(value: object) -> str:

@@ -15,6 +15,9 @@ Usage::
     python -m repro report fig2          # metrics JSON + summary table
     python -m repro bench                # wall-clock speed -> BENCH_sim.json
     python -m repro bench --check BENCH_sim.json
+    python -m repro reproduce            # claims gate -> REPORT.md + report.json
+    python -m repro reproduce --figures fig2,fig7
+    python -m repro diff old.json new.json   # regression gate (report or bench)
 
 Each command prints the reproduced table (the same rows the paper's
 figure plots) and exits 0.  Under ``--verify`` every simulated event is
@@ -23,6 +26,10 @@ additionally checked against the DMA-safety invariants
 trace and exit code 1.  ``report`` runs a figure with the observability
 layer (:mod:`repro.obs`) installed and writes a metrics time-series
 document plus (optionally) a Chrome-trace file loadable in Perfetto.
+``reproduce`` runs figures against their paper-claims expectation specs
+(:mod:`repro.obs.expect`) and regenerates ``REPORT.md``/``report.json``,
+exiting nonzero on any violated claim; ``diff`` compares two generated
+``report.json``/``BENCH_sim.json`` documents and fails on regressions.
 """
 
 from __future__ import annotations
@@ -203,6 +210,110 @@ def _build_bench_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_reproduce_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro reproduce",
+        description=(
+            "Run figures against their paper-claims expectation specs "
+            "and generate REPORT.md + report.json; exits 1 when any "
+            "claim is violated."
+        ),
+    )
+    parser.add_argument(
+        "--figures",
+        metavar="LIST",
+        default=None,
+        help=(
+            "comma-separated figure keys (e.g. fig2,fig7); default: "
+            "every figure with an expectation spec"
+        ),
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-length runs instead of quick",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="REPORT.md",
+        help="generated markdown report path (default: REPORT.md)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default="report.json",
+        help="machine-readable report path (default: report.json)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run seed recorded in the provenance manifest",
+    )
+    return parser
+
+
+def _build_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro diff",
+        description=(
+            "Compare two report.json or BENCH_sim.json documents and "
+            "exit 1 on regressions (newly failing claims, or wall-clock "
+            "slowdowns beyond the threshold)."
+        ),
+    )
+    parser.add_argument("old", help="baseline document")
+    parser.add_argument("new", help="candidate document")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="relative wall-clock regression threshold (default: 0.25)",
+    )
+    return parser
+
+
+def _run_reproduce(raw: list[str]) -> int:
+    from .obs.expect.reproduce import run_reproduce
+
+    args = _build_reproduce_parser().parse_args(raw)
+    figures = None
+    if args.figures is not None:
+        figures = [f.strip() for f in args.figures.split(",") if f.strip()]
+    scale = FULL if args.full else QUICK
+    return run_reproduce(
+        figures,
+        scale=scale,
+        seed=args.seed,
+        report_path=args.out,
+        json_path=args.json,
+    )
+
+
+def _run_diff(raw: list[str]) -> int:
+    from .obs.expect.diffing import diff_documents
+
+    args = _build_diff_parser().parse_args(raw)
+    docs = []
+    for path in (args.old, args.new):
+        try:
+            with open(path) as handle:
+                docs.append(json.load(handle))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {path!r}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        result = diff_documents(docs[0], docs[1], threshold=args.threshold)
+    except ValueError as exc:
+        print(f"cannot diff: {exc}", file=sys.stderr)
+        return 2
+    print(result.format())
+    return 0 if result.ok else 1
+
+
 def _emit(text: str, out_path: Optional[str]) -> None:
     print(text)
     if out_path:
@@ -336,6 +447,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_report(raw[1:])
     if raw and raw[0] == "bench":
         return _run_bench(raw[1:])
+    if raw and raw[0] == "reproduce":
+        return _run_reproduce(raw[1:])
+    if raw and raw[0] == "diff":
+        return _run_diff(raw[1:])
     if raw and raw[0] == "run":
         # ``repro run fig7 --verify`` is an alias for ``repro fig7``.
         raw = raw[1:]

@@ -1,0 +1,169 @@
+"""The ``repro diff`` driver: differential regression gating.
+
+Compares two machine-readable run documents — either two
+``report.json`` files (``repro.report/1``) or two ``BENCH_sim.json``
+files (``repro.bench/1``) — and reports regressions:
+
+* report vs report: claims that passed before and fail now (and, as
+  notes, claims that newly pass or changed config hashes);
+* bench vs bench: per-benchmark wall-clock regressions beyond a
+  relative threshold (default 25%), plus the total.
+
+This is the perf/claims gate CI runs against the committed baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DiffResult", "diff_documents"]
+
+
+@dataclass
+class DiffResult:
+    """Regressions fail the gate; improvements and notes are FYI."""
+
+    kind: str  # "report" or "bench"
+    regressions: list[str] = field(default_factory=list)
+    improvements: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = [f"diff ({self.kind}):"]
+        for text in self.regressions:
+            lines.append(f"  REGRESSION  {text}")
+        for text in self.improvements:
+            lines.append(f"  improved    {text}")
+        for text in self.notes:
+            lines.append(f"  note        {text}")
+        if not (self.regressions or self.improvements or self.notes):
+            lines.append("  no differences")
+        lines.append(
+            f"  -> {'OK' if self.ok else 'FAIL'} "
+            f"({len(self.regressions)} regression(s))"
+        )
+        return "\n".join(lines)
+
+
+def diff_documents(
+    old: dict, new: dict, threshold: float = 0.25
+) -> DiffResult:
+    """Compare two report/bench documents; raises ValueError on junk."""
+    old_schema = old.get("schema") if isinstance(old, dict) else None
+    new_schema = new.get("schema") if isinstance(new, dict) else None
+    if old_schema != new_schema:
+        raise ValueError(
+            f"schema mismatch: {old_schema!r} vs {new_schema!r}"
+        )
+    if old_schema == "repro.report/1":
+        return _diff_reports(old, new)
+    if old_schema == "repro.bench/1":
+        return _diff_bench(old, new, threshold)
+    raise ValueError(f"unsupported schema {old_schema!r}")
+
+
+# ----------------------------------------------------------------------
+# report.json vs report.json — claim-level gating
+# ----------------------------------------------------------------------
+def _claims(doc: dict) -> dict[tuple[str, str], str]:
+    out: dict[tuple[str, str], str] = {}
+    for figure in doc.get("figures", []):
+        for claim in figure.get("claims", []):
+            key = (figure.get("figure", "?"), claim.get("claim", "?"))
+            out[key] = claim.get("status", "?")
+    return out
+
+
+def _diff_reports(old: dict, new: dict) -> DiffResult:
+    result = DiffResult(kind="report")
+    old_claims = _claims(old)
+    new_claims = _claims(new)
+    for key, new_status in new_claims.items():
+        old_status = old_claims.get(key)
+        label = f"{key[0]}: {key[1]}"
+        if old_status is None:
+            result.notes.append(f"new claim {label} [{new_status}]")
+        elif old_status == "pass" and new_status == "fail":
+            result.regressions.append(f"{label} (pass -> fail)")
+        elif old_status == "fail" and new_status == "pass":
+            result.improvements.append(f"{label} (fail -> pass)")
+        elif old_status != new_status:
+            result.notes.append(
+                f"{label} ({old_status} -> {new_status})"
+            )
+    for key in old_claims:
+        if key not in new_claims:
+            result.regressions.append(
+                f"{key[0]}: {key[1]} (claim disappeared)"
+            )
+    old_hash = old.get("provenance", {}).get("config_hash")
+    new_hash = new.get("provenance", {}).get("config_hash")
+    if old_hash != new_hash:
+        result.notes.append(
+            f"config hash changed ({old_hash} -> {new_hash}): "
+            "figures, scale, seed or specs differ"
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# BENCH_sim.json vs BENCH_sim.json — wall-clock gating
+# ----------------------------------------------------------------------
+def _diff_bench(old: dict, new: dict, threshold: float) -> DiffResult:
+    result = DiffResult(kind="bench")
+    old_points = {
+        b.get("name", "?"): b for b in old.get("benchmarks", [])
+    }
+    new_points = {
+        b.get("name", "?"): b for b in new.get("benchmarks", [])
+    }
+    for name, new_point in new_points.items():
+        old_point = old_points.get(name)
+        if old_point is None:
+            result.notes.append(f"new benchmark {name}")
+            continue
+        _compare_wall(
+            result, name, old_point.get("wall_s"),
+            new_point.get("wall_s"), threshold,
+        )
+    for name in old_points:
+        if name not in new_points:
+            result.regressions.append(f"benchmark {name} disappeared")
+    _compare_wall(
+        result,
+        "total",
+        old.get("total_wall_s"),
+        new.get("total_wall_s"),
+        threshold,
+    )
+    return result
+
+
+def _compare_wall(
+    result: DiffResult,
+    name: str,
+    old_wall: object,
+    new_wall: object,
+    threshold: float,
+) -> None:
+    if not isinstance(old_wall, (int, float)) or not isinstance(
+        new_wall, (int, float)
+    ):
+        result.notes.append(f"{name}: wall_s missing on one side")
+        return
+    if old_wall <= 0:
+        result.notes.append(f"{name}: non-positive baseline wall_s")
+        return
+    ratio = new_wall / old_wall
+    detail = (
+        f"{name}: wall {old_wall:.3f}s -> {new_wall:.3f}s "
+        f"({ratio:.2f}x)"
+    )
+    if ratio > 1.0 + threshold:
+        result.regressions.append(detail)
+    elif ratio < 1.0 - threshold:
+        result.improvements.append(detail)

@@ -1,0 +1,142 @@
+"""Spec evaluation: a figure's expectations against its reproduced rows.
+
+A :class:`FigureSpec` is one figure's paper claims; evaluating it
+against a :class:`~repro.experiments.FigureResult` (plus, optionally,
+the metrics document of the run's :class:`~repro.obs.MetricsRegistry`)
+yields a :class:`FigureEvaluation` — the per-claim ✓/✗ table behind
+both the benchmark suite's asserts and the generated ``REPORT.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from .vocabulary import Expectation, Outcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...experiments.figures import FigureResult
+
+__all__ = [
+    "EvalContext",
+    "FigureSpec",
+    "FigureEvaluation",
+    "evaluate_figure",
+    "available_specs",
+]
+
+
+@dataclass
+class EvalContext:
+    """What an expectation may look at: the rows, and final metrics."""
+
+    result: "FigureResult"
+    metrics: Optional[dict] = None  # a MetricsRegistry.report() document
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One figure's claims: the CLI key, a title, and the verb list."""
+
+    figure: str  # CLI figure key, e.g. "fig2"
+    title: str
+    expectations: tuple[Expectation, ...]
+
+    def digest_parts(self) -> list[str]:
+        """Stable strings describing the spec (for the config hash)."""
+        return [self.figure, self.title] + [
+            f"{e.kind}:{e.claim}" for e in self.expectations
+        ]
+
+
+@dataclass
+class FigureEvaluation:
+    """Every claim of one figure, evaluated."""
+
+    figure: str
+    title: str
+    outcomes: list[Outcome]
+
+    @property
+    def failures(self) -> list[Outcome]:
+        return [o for o in self.outcomes if o.failed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "claims": len(self.outcomes),
+            "passed": sum(o.status == "pass" for o in self.outcomes),
+            "failed": sum(o.status == "fail" for o in self.outcomes),
+            "skipped": sum(o.status == "skip" for o in self.outcomes),
+        }
+
+    def format(self) -> str:
+        """Plain-text claim-by-claim block (benchmark output)."""
+        lines = [f"-- claims: {self.figure} ({self.title}) --"]
+        lines.extend(o.describe() for o in self.outcomes)
+        c = self.counts()
+        lines.append(
+            f"   {c['passed']}/{c['claims']} claims pass"
+            + (f", {c['skipped']} skipped" if c["skipped"] else "")
+        )
+        return "\n".join(lines)
+
+    def to_claims(self) -> list[dict]:
+        """JSON-ready per-claim records for ``report.json``."""
+        return [
+            {
+                "kind": o.expectation.kind,
+                "claim": o.expectation.claim,
+                "paper": o.expectation.paper,
+                "observed": o.observed,
+                "status": o.status,
+            }
+            for o in self.outcomes
+        ]
+
+
+def _specs() -> dict[str, FigureSpec]:
+    # Imported lazily: the spec files import the vocabulary from this
+    # package, so a module-level import would be circular.
+    from ..expectations import SPECS
+
+    return SPECS
+
+
+def available_specs() -> list[str]:
+    """The figure keys that have expectation spec files."""
+    return list(_specs())
+
+
+def evaluate_figure(
+    spec: Union[str, FigureSpec],
+    result: "FigureResult",
+    metrics: Optional[dict] = None,
+    only: Optional[Sequence[str]] = None,
+) -> FigureEvaluation:
+    """Evaluate a figure's spec (by key or directly) against a result.
+
+    ``only`` restricts evaluation to expectations whose claim text
+    contains any of the given substrings (used by sub-sweep tests).
+    """
+    if isinstance(spec, str):
+        try:
+            spec = _specs()[spec]
+        except KeyError:
+            raise KeyError(
+                f"no expectation spec for {spec!r}; "
+                f"available: {available_specs()}"
+            ) from None
+    ctx = EvalContext(result=result, metrics=metrics)
+    expectations = spec.expectations
+    if only is not None:
+        expectations = tuple(
+            e
+            for e in expectations
+            if any(token in e.claim for token in only)
+        )
+    outcomes = [e.evaluate(ctx) for e in expectations]
+    return FigureEvaluation(spec.figure, spec.title, outcomes)

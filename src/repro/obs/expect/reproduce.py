@@ -1,0 +1,289 @@
+"""The ``repro reproduce`` driver: run figures, gate on paper claims.
+
+Runs the selected figure sweeps with a metrics registry installed,
+evaluates each figure's expectation spec, and writes:
+
+* ``REPORT.md`` — a generated paper-vs-ours report with a ✓/✗ table
+  per claim, replacing hand-maintained drift in ``EXPERIMENTS.md``;
+* ``report.json`` — the same content machine-readable, stamped with a
+  run-provenance manifest (seed, config hash, scale, git sha) so two
+  reports can be compared with ``repro diff``.
+
+Exit status is nonzero when any claim is violated, making the report a
+CI gate as well as a document.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from typing import Callable, Optional, Sequence
+
+from ...analysis.report import format_markdown_table
+from ...experiments.settings import RunScale
+from ..hooks import observed
+from ..registry import MetricsRegistry
+from .engine import FigureEvaluation, FigureSpec, evaluate_figure
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "default_runners",
+    "provenance",
+    "run_reproduce",
+    "render_report_md",
+]
+
+REPORT_SCHEMA = "repro.report/1"
+
+
+def default_runners() -> dict[str, Callable]:
+    """CLI figure key -> runner, for every figure that has a spec."""
+    from ... import experiments as exp
+
+    return {
+        "fig2": exp.fig2_flows,
+        "fig3": exp.fig3_ring,
+        "model": exp.model_fit,
+        "fig7": exp.fig7_fns_flows,
+        "fig8": exp.fig8_fns_ring,
+        "fig9": exp.fig9_rpc_latency,
+        "fig10": exp.fig10_rxtx,
+        "fig11a": exp.fig11_redis,
+        "fig11b": exp.fig11_nginx,
+        "fig11c": exp.fig11_spdk,
+        "fig12": exp.fig12_ablation,
+    }
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def provenance(
+    figures: Sequence[str],
+    scale: RunScale,
+    seed: int,
+    specs: dict[str, FigureSpec],
+) -> dict:
+    """The run-provenance manifest stamped into ``report.json``.
+
+    The config hash covers everything that determines the report's
+    content in a deterministic run: the figure list, the run scale, the
+    seed and the expectation specs themselves.  Two reports with equal
+    config hashes are directly comparable; a changed spec changes the
+    hash, flagging that a diff crosses an expectation revision.
+    """
+    config = {
+        "figures": list(figures),
+        "scale": {
+            "name": scale.name,
+            "warmup_ns": scale.warmup_ns,
+            "measure_ns": scale.measure_ns,
+            "latency_measure_ns": scale.latency_measure_ns,
+        },
+        "seed": seed,
+        "specs": [
+            part
+            for key in figures
+            if key in specs
+            for part in specs[key].digest_parts()
+        ],
+    }
+    digest = hashlib.sha256(
+        json.dumps(config, sort_keys=True).encode()
+    ).hexdigest()
+    return {
+        "git_sha": _git_sha(),
+        "scale": scale.name,
+        "seed": seed,
+        "figures": list(figures),
+        "config_hash": digest[:16],
+    }
+
+
+def _truncated_phases(metrics: dict) -> list[str]:
+    return [
+        phase.get("label", "?")
+        for phase in metrics.get("phases", [])
+        if phase.get("truncated")
+    ]
+
+
+def run_reproduce(
+    figures: Optional[Sequence[str]] = None,
+    *,
+    scale: RunScale,
+    seed: int = 1,
+    report_path: str = "REPORT.md",
+    json_path: str = "report.json",
+    runners: Optional[dict[str, Callable]] = None,
+    specs: Optional[dict[str, FigureSpec]] = None,
+    echo: Callable[[str], None] = print,
+) -> int:
+    """Run figures, evaluate claims, write both reports; 1 on failure."""
+    from ..expectations import SPECS
+
+    runners = runners if runners is not None else default_runners()
+    specs = specs if specs is not None else SPECS
+    names = list(figures) if figures else [
+        key for key in runners if key in specs
+    ]
+    unknown = [n for n in names if n not in runners or n not in specs]
+    if unknown:
+        echo(
+            f"no runner/spec for {unknown}; "
+            f"available: {[k for k in runners if k in specs]}"
+        )
+        return 2
+
+    sections = []
+    for name in names:
+        registry = MetricsRegistry()
+        with observed(registry):
+            result = runners[name](scale=scale)
+        metrics = registry.report()
+        evaluation = evaluate_figure(specs[name], result, metrics=metrics)
+        echo(result.format())
+        echo(evaluation.format())
+        sections.append(
+            {
+                "figure": name,
+                "figure_id": result.figure_id,
+                "title": result.title,
+                "headers": result.headers,
+                "rows": result.rows,
+                "notes": result.notes,
+                "evaluation": evaluation,
+                "truncated_phases": _truncated_phases(metrics),
+            }
+        )
+
+    manifest = provenance(names, scale, seed, specs)
+    doc = _report_doc(manifest, sections)
+    with open(json_path, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    with open(report_path, "w") as handle:
+        handle.write(render_report_md(manifest, sections))
+    summary = doc["summary"]
+    echo(
+        f"\n{summary['passed']}/{summary['claims']} claims pass "
+        f"({summary['failed']} failed, {summary['skipped']} skipped)"
+        f"\nreport: {report_path}\njson:   {json_path}"
+    )
+    return 1 if summary["failed"] else 0
+
+
+def _report_doc(manifest: dict, sections: list[dict]) -> dict:
+    figures = []
+    totals = {"claims": 0, "passed": 0, "failed": 0, "skipped": 0}
+    for section in sections:
+        evaluation: FigureEvaluation = section["evaluation"]
+        counts = evaluation.counts()
+        for key in totals:
+            totals[key] += counts[key]
+        figures.append(
+            {
+                "figure": section["figure"],
+                "figure_id": section["figure_id"],
+                "title": section["title"],
+                "headers": section["headers"],
+                "rows": section["rows"],
+                "claims": evaluation.to_claims(),
+                "truncated_phases": section["truncated_phases"],
+            }
+        )
+    return {
+        "schema": REPORT_SCHEMA,
+        "provenance": manifest,
+        "figures": figures,
+        "summary": totals,
+    }
+
+
+def render_report_md(manifest: dict, sections: list[dict]) -> str:
+    """The human-readable ``REPORT.md`` document."""
+    totals = {"claims": 0, "passed": 0, "failed": 0, "skipped": 0}
+    for section in sections:
+        counts = section["evaluation"].counts()
+        for key in totals:
+            totals[key] += counts[key]
+    lines = [
+        "# REPORT — paper claims vs this reproduction",
+        "",
+        "Generated by `repro reproduce`; do not edit by hand.",
+        "Regenerate whenever a figure runner or expectation spec",
+        "changes (`PYTHONPATH=src python -m repro reproduce`).",
+        "",
+        "## Provenance",
+        "",
+        f"- git sha: `{manifest['git_sha']}`",
+        f"- run scale: `{manifest['scale']}`, seed {manifest['seed']}",
+        f"- config hash: `{manifest['config_hash']}`",
+        f"- figures: {', '.join(manifest['figures'])}",
+        f"- claims: **{totals['passed']}/{totals['claims']} pass**"
+        + (
+            f", {totals['failed']} FAILED"
+            if totals["failed"]
+            else ""
+        )
+        + (
+            f", {totals['skipped']} skipped"
+            if totals["skipped"]
+            else ""
+        ),
+        "",
+    ]
+    for section in sections:
+        evaluation: FigureEvaluation = section["evaluation"]
+        lines.append(
+            f"## {section['figure_id']} — {section['title']}"
+        )
+        lines.append("")
+        claim_rows = [
+            [o.symbol, o.expectation.claim, o.expectation.paper, o.observed]
+            for o in evaluation.outcomes
+        ]
+        lines.append(
+            format_markdown_table(
+                ["", "claim", "paper", "ours"], claim_rows
+            )
+        )
+        lines.append("")
+        for label in section["truncated_phases"]:
+            lines.append(
+                f"> **warning:** metric time series truncated at the "
+                f"sample cap in phase `{label}` (finals unaffected)."
+            )
+        if section["truncated_phases"]:
+            lines.append("")
+        lines.append("<details><summary>reproduced table</summary>")
+        lines.append("")
+        lines.append("```")
+        lines.append(_table_text(section))
+        lines.append("```")
+        lines.append("")
+        lines.append("</details>")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _table_text(section: dict) -> str:
+    from ...analysis.report import format_figure
+
+    return format_figure(
+        f"{section['figure_id']}: {section['title']}",
+        section["headers"],
+        section["rows"],
+        section.get("notes", ""),
+    ).strip()

@@ -1,0 +1,703 @@
+"""The eight expectation verbs: qualitative paper claims as objects.
+
+Every claim the paper makes about a figure is one of a small number of
+*shapes*; each shape is one verb here.  A spec file instantiates verbs
+with row/column selectors and bounds, and the engine evaluates them
+against the reproduced :class:`~repro.experiments.FigureResult` rows
+(and, for metric-based claims, against the final values of a
+:class:`~repro.obs.MetricsRegistry` phase).
+
+Selectors shared by the row-based verbs:
+
+``column``
+    A header name from the figure's table (``"gbps"``, ``"m3/pg"``).
+``mode``
+    The series (row[0]): ``"off"``, ``"strict"``, ``"fns"``, ... —
+    ``None`` selects every row (used by mode-less figures).
+``at``
+    A tuple of x values (row[1]) to check; ``None`` means every x the
+    sweep produced, so specs stay valid when a test runs a sub-sweep.
+
+Each verb records a human-readable ``claim`` plus the ``paper`` value
+it encodes; the generated ``REPORT.md`` prints both next to the
+observed numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import EvalContext
+
+__all__ = [
+    "Expectation",
+    "Outcome",
+    "is_zero",
+    "equal",
+    "grows_with",
+    "declines_with",
+    "wins",
+    "within_band",
+    "crossover_at",
+    "largest_class",
+]
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One evaluated expectation: pass/fail/skip plus observed values."""
+
+    expectation: "Expectation"
+    status: str  # "pass" | "fail" | "skip"
+    observed: str
+
+    @property
+    def passed(self) -> bool:
+        return self.status == "pass"
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "fail"
+
+    @property
+    def symbol(self) -> str:
+        return {"pass": "✓", "fail": "✗", "skip": "–"}[self.status]
+
+    def describe(self) -> str:
+        return (
+            f"[{self.symbol}] {self.expectation.claim} "
+            f"(observed: {self.observed})"
+        )
+
+
+class SpecError(Exception):
+    """A spec referenced a column/mode/x the figure does not produce."""
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """Base verb: a claim, the paper's value, and row selectors."""
+
+    kind: str = field(init=False, default="")
+    claim: str = ""
+    paper: str = ""
+
+    def evaluate(self, ctx: "EvalContext") -> Outcome:
+        try:
+            status, observed = self._eval(ctx)
+        except SpecError as exc:
+            status, observed = "fail", f"spec error: {exc}"
+        return Outcome(self, status, observed)
+
+    def _eval(self, ctx: "EvalContext") -> tuple[str, str]:
+        raise NotImplementedError
+
+    # -- row/column helpers (shared by the row-based verbs) ------------
+    @staticmethod
+    def _col(ctx: "EvalContext", name: str) -> int:
+        try:
+            return ctx.result.headers.index(name)
+        except ValueError:
+            raise SpecError(
+                f"no column {name!r} in {ctx.result.headers}"
+            ) from None
+
+    @staticmethod
+    def _rows(
+        ctx: "EvalContext",
+        mode: Optional[str],
+        at: Optional[Sequence],
+    ) -> list[list]:
+        rows = [
+            row
+            for row in ctx.result.rows
+            if (mode is None or row[0] == mode)
+            and (at is None or row[1] in at)
+        ]
+        if not rows:
+            raise SpecError(f"no rows for mode={mode!r} at={at!r}")
+        return rows
+
+    def _series(
+        self,
+        ctx: "EvalContext",
+        column: str,
+        mode: Optional[str],
+        at: Optional[Sequence],
+        of: Optional[str] = None,
+    ) -> list[tuple[object, float]]:
+        """``(x, value)`` pairs in sweep order; ratio to ``of`` if set."""
+        col = self._col(ctx, column)
+        rows = self._rows(ctx, mode, at)
+        pairs = [(row[1], float(row[col])) for row in rows]
+        if of is None:
+            return pairs
+        base = {
+            row[1]: float(row[col]) for row in self._rows(ctx, of, at)
+        }
+        ratios = []
+        for x, value in pairs:
+            if x not in base:
+                raise SpecError(f"mode {of!r} has no x={x!r}")
+            if base[x] == 0:
+                raise SpecError(f"{of}.{column} is 0 at x={x!r}")
+            ratios.append((x, value / base[x]))
+        return ratios
+
+    @staticmethod
+    def _show(pairs: Sequence[tuple[object, float]]) -> str:
+        return ", ".join(f"x={x}: {value:g}" for x, value in pairs)
+
+
+# ----------------------------------------------------------------------
+# is_zero — exact-zero (or tolerance-bounded) claims
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IsZero(Expectation):
+    kind: str = field(init=False, default="is_zero")
+    column: Optional[str] = None
+    mode: Optional[str] = None
+    at: Optional[tuple] = None
+    tol: float = 0.0
+    metric: Optional[str] = None
+    phase_contains: Optional[str] = None
+
+    def _eval(self, ctx: "EvalContext") -> tuple[str, str]:
+        if self.metric is not None:
+            return self._eval_metric(ctx)
+        assert self.column is not None
+        pairs = self._series(ctx, self.column, self.mode, self.at)
+        bad = [(x, v) for x, v in pairs if abs(v) > self.tol]
+        status = "fail" if bad else "pass"
+        return status, f"{self.mode or 'all'}.{self.column}: " + self._show(
+            pairs
+        )
+
+    def _eval_metric(self, ctx: "EvalContext") -> tuple[str, str]:
+        if ctx.metrics is None:
+            return "skip", "no metrics collected for this run"
+        total, phases = _sum_phase_metric(
+            ctx.metrics, self.metric or "", self.phase_contains
+        )
+        if phases == 0:
+            raise SpecError(
+                f"no phase label contains {self.phase_contains!r}"
+            )
+        status = "pass" if abs(total) <= self.tol else "fail"
+        return status, (
+            f"sum({self.metric}) over {phases} phase(s) = {total:g}"
+        )
+
+
+def is_zero(
+    column: Optional[str] = None,
+    mode: Optional[str] = None,
+    *,
+    at: Optional[Sequence] = None,
+    tol: float = 0.0,
+    metric: Optional[str] = None,
+    phase_contains: Optional[str] = None,
+    claim: str,
+    paper: str = "0",
+) -> Expectation:
+    """The value is (exactly, or within ``tol`` of) zero.
+
+    Row form: ``column``/``mode``/``at`` select table cells.  Metric
+    form: ``metric``/``phase_contains`` sum a registry metric's final
+    value over matching phases — skipped when no metrics were taken.
+    """
+    if (column is None) == (metric is None):
+        raise ValueError("pass exactly one of column= or metric=")
+    return IsZero(
+        claim=claim,
+        paper=paper,
+        column=column,
+        mode=mode,
+        at=tuple(at) if at is not None else None,
+        tol=tol,
+        metric=metric,
+        phase_contains=phase_contains,
+    )
+
+
+def _sum_phase_metric(
+    metrics: dict, metric: str, phase_contains: Optional[str]
+) -> tuple[float, int]:
+    """Sum ``metric``'s final values over matching phases of a report."""
+    total = 0.0
+    matched = 0
+    for phase in metrics.get("phases", []):
+        label = phase.get("label", "")
+        if phase_contains is not None and phase_contains not in label:
+            continue
+        matched += 1
+        for name, value in (phase.get("final") or {}).items():
+            if _normalize(name) == metric and isinstance(
+                value, (int, float)
+            ):
+                total += value
+    return total, matched
+
+
+def _normalize(name: str) -> str:
+    """Strip the ``#N`` instance-dedup suffixes from a metric name."""
+    return ".".join(part.split("#", 1)[0] for part in name.split("."))
+
+
+# ----------------------------------------------------------------------
+# equal — two columns (or one column at two sweep points) agree
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Equal(Expectation):
+    kind: str = field(init=False, default="equal")
+    column: str = ""
+    column_b: Optional[str] = None
+    mode: Optional[str] = None
+    at: Optional[tuple] = None
+    between: Optional[tuple] = None
+    tol_abs: float = 0.0
+    tol_rel: float = 0.0
+
+    def _eval(self, ctx: "EvalContext") -> tuple[str, str]:
+        if self.column_b is not None:
+            pairs_a = self._series(ctx, self.column, self.mode, self.at)
+            pairs_b = self._series(ctx, self.column_b, self.mode, self.at)
+            label = f"{self.column} vs {self.column_b}"
+        else:
+            assert self.between is not None
+            x1, x2 = self.between
+            pairs_a = self._series(ctx, self.column, self.mode, (x1,))
+            pairs_b = self._series(ctx, self.column, self.mode, (x2,))
+            label = f"{self.column} at x={x1} vs x={x2}"
+        ok = all(
+            self._close(va, vb)
+            for (_, va), (_, vb) in zip(pairs_a, pairs_b)
+        )
+        observed = (
+            f"{label}: {self._show(pairs_a)} | {self._show(pairs_b)}"
+        )
+        return ("pass" if ok else "fail"), observed
+
+    def _close(self, a: float, b: float) -> bool:
+        return abs(a - b) <= max(
+            self.tol_abs, self.tol_rel * max(abs(a), abs(b))
+        )
+
+
+def equal(
+    column: str,
+    column_b: Optional[str] = None,
+    *,
+    mode: Optional[str] = None,
+    at: Optional[Sequence] = None,
+    between: Optional[Sequence] = None,
+    tol_abs: float = 0.0,
+    tol_rel: float = 0.0,
+    claim: str,
+    paper: str = "equal",
+) -> Expectation:
+    """Two columns agree row-wise, or one column agrees at two x's."""
+    if (column_b is None) == (between is None):
+        raise ValueError("pass exactly one of column_b= or between=")
+    return Equal(
+        claim=claim,
+        paper=paper,
+        column=column,
+        column_b=column_b,
+        mode=mode,
+        at=tuple(at) if at is not None else None,
+        between=tuple(between) if between is not None else None,
+        tol_abs=tol_abs,
+        tol_rel=tol_rel,
+    )
+
+
+# ----------------------------------------------------------------------
+# grows_with / declines_with — monotone trend over the sweep axis
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Trend(Expectation):
+    kind: str = field(init=False, default="grows_with")
+    column: str = ""
+    mode: Optional[str] = None
+    of: Optional[str] = None
+    at: Optional[tuple] = None
+    factor: float = 1.0
+    slack: float = 0.0
+    declines: bool = False
+
+    def __post_init__(self) -> None:
+        if self.declines:
+            object.__setattr__(self, "kind", "declines_with")
+
+    def _eval(self, ctx: "EvalContext") -> tuple[str, str]:
+        pairs = self._series(ctx, self.column, self.mode, self.at, self.of)
+        if len(pairs) < 2:
+            raise SpecError("need at least two sweep points for a trend")
+        first, last = pairs[0][1], pairs[-1][1]
+        if self.declines:
+            ok = first >= last * self.factor - self.slack
+        else:
+            ok = last >= first * self.factor - self.slack
+        suffix = f" / {self.of}" if self.of else ""
+        observed = f"{self.column}{suffix}: {self._show(pairs)}"
+        return ("pass" if ok else "fail"), observed
+
+
+def grows_with(
+    column: str,
+    mode: Optional[str] = None,
+    *,
+    of: Optional[str] = None,
+    at: Optional[Sequence] = None,
+    factor: float = 1.0,
+    slack: float = 0.0,
+    claim: str,
+    paper: str = "grows",
+) -> Expectation:
+    """Last sweep point ≥ first × ``factor`` − ``slack``.
+
+    With ``of=``, the trend is checked on the ``mode``/``of`` ratio
+    (e.g. "strict's relative throughput recovers at larger sizes").
+    """
+    return Trend(
+        claim=claim,
+        paper=paper,
+        column=column,
+        mode=mode,
+        of=of,
+        at=tuple(at) if at is not None else None,
+        factor=factor,
+        slack=slack,
+    )
+
+
+def declines_with(
+    column: str,
+    mode: Optional[str] = None,
+    *,
+    of: Optional[str] = None,
+    at: Optional[Sequence] = None,
+    factor: float = 1.0,
+    slack: float = 0.0,
+    claim: str,
+    paper: str = "declines",
+) -> Expectation:
+    """First sweep point ≥ last × ``factor`` − ``slack`` (mirror verb)."""
+    return Trend(
+        claim=claim,
+        paper=paper,
+        column=column,
+        mode=mode,
+        of=of,
+        at=tuple(at) if at is not None else None,
+        factor=factor,
+        slack=slack,
+        declines=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# wins — one mode beats another (per point, or on the series extreme)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Wins(Expectation):
+    kind: str = field(init=False, default="wins")
+    mode: str = ""
+    over: str = ""
+    column: str = ""
+    by: float = 1.0
+    at: Optional[tuple] = None
+    agg: str = "all"
+
+    def _eval(self, ctx: "EvalContext") -> tuple[str, str]:
+        mine = self._series(ctx, self.column, self.mode, self.at)
+        their_pairs = self._series(ctx, self.column, self.over, self.at)
+        theirs = dict(their_pairs)
+        observed = (
+            f"{self.mode}.{self.column}: {self._show(mine)} vs "
+            f"{self.over}: {self._show(their_pairs)}"
+        )
+        if self.agg == "max":
+            ok = max(v for _, v in mine) > max(theirs.values()) * self.by
+            return ("pass" if ok else "fail"), observed
+        shared = [(x, v) for x, v in mine if x in theirs]
+        if not shared:
+            raise SpecError(
+                f"modes {self.mode!r}/{self.over!r} share no x values"
+            )
+        ok = all(v > theirs[x] * self.by for x, v in shared)
+        return ("pass" if ok else "fail"), observed
+
+
+def wins(
+    mode: str,
+    over: str,
+    column: str,
+    *,
+    by: float = 1.0,
+    at: Optional[Sequence] = None,
+    agg: str = "all",
+    claim: str,
+    paper: str = "wins",
+) -> Expectation:
+    """``mode`` beats ``over``: value > other × ``by`` at each shared x.
+
+    ``agg="max"`` compares the series maxima instead (tail claims like
+    "strict's worst tail is 10× off's worst tail").
+    """
+    if agg not in ("all", "max"):
+        raise ValueError(f"agg must be 'all' or 'max', got {agg!r}")
+    return Wins(
+        claim=claim,
+        paper=paper,
+        mode=mode,
+        over=over,
+        column=column,
+        by=by,
+        at=tuple(at) if at is not None else None,
+        agg=agg,
+    )
+
+
+# ----------------------------------------------------------------------
+# within_band — absolute or relative bounds (the workhorse verb)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WithinBand(Expectation):
+    kind: str = field(init=False, default="within_band")
+    column: Optional[str] = None
+    mode: Optional[str] = None
+    of: Optional[str] = None
+    at: Optional[tuple] = None
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    slack: Optional[float] = None
+    hi_min: Optional[float] = None
+    derived: Optional[Callable] = None
+    label: str = ""
+
+    def _eval(self, ctx: "EvalContext") -> tuple[str, str]:
+        if self.derived is not None:
+            value = float(self.derived(ctx.result))
+            ok = (self.lo is None or value >= self.lo) and (
+                self.hi is None or value <= self.hi
+            )
+            return ("pass" if ok else "fail"), f"{self.label}: {value:g}"
+        assert self.column is not None
+        if self.of is None:
+            pairs = self._series(ctx, self.column, self.mode, self.at)
+            ok = all(self._in_abs_band(v) for _, v in pairs)
+            observed = f"{self.mode or 'all'}.{self.column}: " + self._show(
+                pairs
+            )
+            return ("pass" if ok else "fail"), observed
+        mine = dict(self._series(ctx, self.column, self.mode, self.at))
+        base = dict(self._series(ctx, self.column, self.of, self.at))
+        shared = [x for x in mine if x in base]
+        if not shared:
+            raise SpecError(
+                f"modes {self.mode!r}/{self.of!r} share no x values"
+            )
+        ok = all(self._in_rel_band(mine[x], base[x]) for x in shared)
+        shown = ", ".join(
+            f"x={x}: {mine[x] / base[x]:g}"
+            if base[x]
+            else f"x={x}: {mine[x]:g} (base 0)"
+            for x in shared
+        )
+        observed = f"{self.mode}.{self.column} / {self.of}: {shown}"
+        return ("pass" if ok else "fail"), observed
+
+    def _in_abs_band(self, value: float) -> bool:
+        return (self.lo is None or value >= self.lo) and (
+            self.hi is None or value <= self.hi
+        )
+
+    def _in_rel_band(self, value: float, base: float) -> bool:
+        if self.lo is not None and value < base * self.lo:
+            return False
+        if self.hi is not None:
+            bound = base * self.hi
+            if self.slack is not None:
+                bound = max(bound, base + self.slack)
+            if self.hi_min is not None:
+                bound = max(bound, self.hi_min)
+            if value > bound:
+                return False
+        return True
+
+
+def within_band(
+    column: Optional[str] = None,
+    mode: Optional[str] = None,
+    *,
+    of: Optional[str] = None,
+    at: Optional[Sequence] = None,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    slack: Optional[float] = None,
+    hi_min: Optional[float] = None,
+    derived: Optional[Callable] = None,
+    label: str = "",
+    claim: str,
+    paper: str = "within band",
+) -> Expectation:
+    """Value within bounds: absolute, or relative to mode ``of``.
+
+    Relative form checks ``lo·base ≤ v`` and ``v ≤ hi·base`` where the
+    upper bound is loosened to ``max(hi·base, base+slack, hi_min)`` when
+    those are given (tail claims shaped like "≤ 3× of off, or within
+    200 µs of it").  ``derived=`` evaluates a callable of the
+    :class:`FigureResult` instead (e.g. a fitted model constant from
+    ``result.raw``), named by ``label=``.
+    """
+    if derived is None and column is None:
+        raise ValueError("pass column= or derived=")
+    if lo is None and hi is None:
+        raise ValueError("at least one of lo=/hi= is required")
+    return WithinBand(
+        claim=claim,
+        paper=paper,
+        column=column,
+        mode=mode,
+        of=of,
+        at=tuple(at) if at is not None else None,
+        lo=lo,
+        hi=hi,
+        slack=slack,
+        hi_min=hi_min,
+        derived=derived,
+        label=label or "derived",
+    )
+
+
+# ----------------------------------------------------------------------
+# crossover_at — a ratio stays below a threshold until a sweep point
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrossoverAt(Expectation):
+    kind: str = field(init=False, default="crossover_at")
+    column: str = ""
+    mode: str = ""
+    of: str = ""
+    threshold: float = 1.0
+    after: object = None
+    must_cross: bool = True
+
+    def _eval(self, ctx: "EvalContext") -> tuple[str, str]:
+        pairs = self._series(ctx, self.column, self.mode, None, self.of)
+        below = [
+            (x, r) for x, r in pairs if _le_x(x, self.after)
+        ]
+        above = [(x, r) for x, r in pairs if not _le_x(x, self.after)]
+        if not below:
+            raise SpecError(f"no sweep points at or before {self.after!r}")
+        ok = all(r < self.threshold for _, r in below)
+        if self.must_cross:
+            ok = ok and any(r >= self.threshold for _, r in above)
+        observed = (
+            f"{self.mode}.{self.column} / {self.of}: "
+            + self._show(pairs)
+            + f" (threshold {self.threshold:g} after x={self.after!r})"
+        )
+        return ("pass" if ok else "fail"), observed
+
+
+def _le_x(x: object, bound: object) -> bool:
+    try:
+        return x <= bound  # type: ignore[operator]
+    except TypeError:
+        raise SpecError(
+            f"cannot order x={x!r} against after={bound!r}"
+        ) from None
+
+
+def crossover_at(
+    column: str,
+    mode: str,
+    *,
+    of: str,
+    threshold: float,
+    after,
+    must_cross: bool = True,
+    claim: str,
+    paper: str = "crossover",
+) -> Expectation:
+    """The ``mode``/``of`` ratio stays < ``threshold`` up to ``after``.
+
+    With ``must_cross=True`` (default) the ratio must also rise to
+    ``threshold`` or above at some later sweep point — pinning *where*
+    an effect fades, not just that it exists.
+    """
+    return CrossoverAt(
+        claim=claim,
+        paper=paper,
+        column=column,
+        mode=mode,
+        of=of,
+        threshold=threshold,
+        after=after,
+        must_cross=must_cross,
+    )
+
+
+# ----------------------------------------------------------------------
+# largest_class — one column dominates its siblings (m3 > m1, m2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LargestClass(Expectation):
+    kind: str = field(init=False, default="largest_class")
+    column: str = ""
+    among: tuple = ()
+    mode: Optional[str] = None
+    at: Optional[tuple] = None
+
+    def _eval(self, ctx: "EvalContext") -> tuple[str, str]:
+        rows = self._rows(ctx, self.mode, self.at)
+        col = self._col(ctx, self.column)
+        others = [
+            self._col(ctx, name)
+            for name in self.among
+            if name != self.column
+        ]
+        ok = all(
+            float(row[col]) >= max(float(row[i]) for i in others)
+            for row in rows
+        )
+        shown = ", ".join(
+            "x={}: {}".format(
+                row[1],
+                "/".join(f"{float(row[i]):g}" for i in [col] + others),
+            )
+            for row in rows
+        )
+        observed = (
+            f"{self.column} vs {[n for n in self.among if n != self.column]}"
+            f": {shown}"
+        )
+        return ("pass" if ok else "fail"), observed
+
+
+def largest_class(
+    column: str,
+    *,
+    among: Sequence[str],
+    mode: Optional[str] = None,
+    at: Optional[Sequence] = None,
+    claim: str,
+    paper: str = "largest",
+) -> Expectation:
+    """``column`` ≥ every other column in ``among`` at each point."""
+    if column not in among:
+        raise ValueError(f"{column!r} must be one of among={among!r}")
+    return LargestClass(
+        claim=claim,
+        paper=paper,
+        column=column,
+        among=tuple(among),
+        mode=mode,
+        at=tuple(at) if at is not None else None,
+    )

@@ -1,0 +1,44 @@
+"""Fig 10 claims: concurrent Rx/Tx interference (Ice Lake)."""
+
+from ..expect import FigureSpec, within_band, wins
+
+SPEC = FigureSpec(
+    figure="fig10",
+    title="Concurrent Rx/Tx interference (Ice Lake)",
+    expectations=(
+        within_band(
+            "rx_gbps",
+            "strict",
+            of="off",
+            hi=0.62,
+            at=(2, 4),
+            claim="strict Rx collapses under Rx/Tx interference",
+            paper="up to ~80% Rx degradation",
+        ),
+        wins(
+            "fns",
+            "strict",
+            "rx_gbps",
+            by=1.3,
+            at=(2, 4),
+            claim="F&S recovers a large part of the Rx loss",
+            paper="= off except a small gap at <4 cores",
+        ),
+        wins(
+            "fns",
+            "strict",
+            "tx_gbps",
+            at=(2, 4),
+            claim="F&S Tx throughput above strict's",
+            paper="strict Tx degrades too (less than Rx)",
+        ),
+        wins(
+            "off",
+            "strict",
+            "rx_gbps",
+            at=(1,),
+            claim="interference visible even at one core per direction",
+            paper="present at all core counts",
+        ),
+    ),
+)

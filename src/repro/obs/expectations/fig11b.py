@@ -1,0 +1,33 @@
+"""Fig 11b claims: Nginx page-serving throughput."""
+
+from ..expect import FigureSpec, within_band
+
+SPEC = FigureSpec(
+    figure="fig11b",
+    title="Nginx throughput",
+    expectations=(
+        within_band(
+            "gbps",
+            "off",
+            hi=99.0,
+            claim="off is application-limited below line rate",
+            paper="~90 Gbps, app-limited",
+        ),
+        within_band(
+            "gbps",
+            "strict",
+            of="off",
+            hi=1.1,
+            claim="strict does not beat off (deviation: mild loss)",
+            paper="65-70% degradation (ours much milder)",
+        ),
+        within_band(
+            "gbps",
+            "fns",
+            of="off",
+            lo=0.85,
+            claim="F&S matches the app-limited off throughput",
+            paper="equal to off",
+        ),
+    ),
+)

@@ -1,0 +1,71 @@
+"""Fig 12 claims: each F&S idea is necessary (Redis 8 KB ablation).
+
+A = preserve PTcaches across invalidations; B = contiguous IOVA
+allocation + batched invalidation.
+"""
+
+from ..expect import FigureSpec, is_zero, within_band, wins
+
+SPEC = FigureSpec(
+    figure="fig12",
+    title="Ablation: each F&S idea is necessary",
+    expectations=(
+        wins(
+            "linux+A",
+            "strict",
+            "gbps",
+            claim="preserving PTcaches alone helps over strict",
+            paper="insufficient alone",
+        ),
+        wins(
+            "linux+B",
+            "strict",
+            "gbps",
+            claim="contiguity + batching alone helps over strict",
+            paper="insufficient alone",
+        ),
+        wins(
+            "fns",
+            "linux+A",
+            "gbps",
+            claim="A alone does not reach F&S",
+            paper="only A+B recovers",
+        ),
+        wins(
+            "fns",
+            "linux+B",
+            "gbps",
+            claim="B alone does not reach F&S",
+            paper="only A+B recovers",
+        ),
+        within_band(
+            "gbps",
+            "fns",
+            of="off",
+            lo=0.9,
+            claim="F&S approaches the IOMMU-off ceiling",
+            paper="near off",
+        ),
+        within_band(
+            "l3/pg",
+            "linux+A",
+            lo=0.02,
+            claim="A alone leaves locality-driven L3 misses",
+            paper="locality-driven misses remain",
+        ),
+        within_band(
+            "l3/pg",
+            "linux+B",
+            lo=0.02,
+            claim="B alone leaves invalidation-driven L3 misses",
+            paper="invalidation-driven misses remain",
+        ),
+        is_zero(
+            "l3/pg",
+            "fns",
+            tol=0.02,
+            claim="F&S eliminates both L3 miss sources",
+            paper="near zero",
+        ),
+    ),
+)

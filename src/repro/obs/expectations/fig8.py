@@ -1,0 +1,70 @@
+"""Fig 8 claims: F&S keeps locality as the IO working set grows."""
+
+from ..expect import FigureSpec, equal, is_zero, within_band, wins
+
+SPEC = FigureSpec(
+    figure="fig8",
+    title="F&S under increasing ring sizes",
+    expectations=(
+        within_band(
+            "gbps",
+            "fns",
+            of="off",
+            lo=0.93,
+            at=(256, 512, 1024),
+            claim="F&S = off at small/medium rings",
+            paper="equal",
+        ),
+        within_band(
+            "gbps",
+            "fns",
+            of="off",
+            lo=0.85,
+            at=(2048,),
+            claim="small CPU-side gap allowed at 2048-packet rings",
+            paper="small gap at 2048 (CPU-bound)",
+        ),
+        wins(
+            "fns",
+            "strict",
+            "gbps",
+            claim="F&S above strict at every ring size",
+            paper="strict below throughout",
+        ),
+        within_band(
+            "m3/pg",
+            "fns",
+            hi=0.054,
+            claim="F&S PTcache-L3 misses independent of working set",
+            paper="<= 0.053/page at every ring size",
+        ),
+        is_zero(
+            "m1/pg",
+            "fns",
+            claim="F&S PTcache-L1 misses zero at every ring size",
+            paper="0",
+        ),
+        is_zero(
+            "m2/pg",
+            "fns",
+            claim="F&S PTcache-L2 misses zero at every ring size",
+            paper="0",
+        ),
+        equal(
+            "loc_p95",
+            mode="fns",
+            between=(256, 2048),
+            tol_abs=2.0,
+            claim="F&S locality flat across ring sizes",
+            paper="per-descriptor guarantee, size-independent",
+        ),
+        within_band(
+            "m3/pg",
+            "strict",
+            lo=0.1,
+            at=(2048,),
+            claim="strict L3 misses stay substantial at large rings",
+            paper="grows with ring size",
+        ),
+    ),
+)

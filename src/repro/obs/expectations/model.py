@@ -1,0 +1,31 @@
+"""Section 2.2 model claims: T = p / (l0 + M*lm) closes the loop."""
+
+from ..expect import FigureSpec, within_band
+
+SPEC = FigureSpec(
+    figure="model",
+    title="Section 2.2 analytic throughput model",
+    expectations=(
+        within_band(
+            "paper_err%",
+            hi=20.0,
+            claim="paper constants predict measured throughput within 20%",
+            paper="model within ~10% of measured",
+        ),
+        within_band(
+            derived=lambda r: min(r.raw["l0_ns"], r.raw["lm_ns"]),
+            label="min(refit l0, lm) ns",
+            lo=0.0,
+            claim="refit latencies are non-negative",
+            paper="l0 = 65 ns, lm = 197 ns",
+        ),
+        within_band(
+            derived=lambda r: r.raw["l0_ns"] + 1.7 * r.raw["lm_ns"],
+            label="l0 + 1.7*lm (ns)",
+            lo=250.0,
+            hi=600.0,
+            claim="combined per-packet latency at M=1.7 in 250-600 ns",
+            paper="65 + 1.7*197 = 400 ns",
+        ),
+    ),
+)

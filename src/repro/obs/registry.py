@@ -53,6 +53,10 @@ class Phase:
         self.series: dict[str, list[float]] = {}
         self.final: Optional[dict[str, float]] = None
         self.sim_attached = False
+        # Set by the sampler when the time series hit max_samples while
+        # the workload was still running (no-silent-caps rule): the
+        # series is a truncated prefix, though finals stay complete.
+        self.truncated = False
         self._scope_counts: dict[str, int] = {}
 
     def read_all(self) -> dict[str, float]:
@@ -84,6 +88,7 @@ class Phase:
             "label": self.label,
             "final": self.final,
             "kinds": {n: m.kind for n, m in self.metrics.items()},
+            "truncated": self.truncated,
             "samples": {"t_ns": self.sample_times, "series": series},
         }
 
@@ -209,10 +214,11 @@ class MetricsRegistry:
         for phase in self.phases:
             phase.finalize()
             final = phase.final or {}
+            samples = len(phase.sample_times)
             rows.append(
                 [
                     phase.label,
-                    len(phase.sample_times),
+                    f"{samples} (truncated)" if phase.truncated else samples,
                     _sum_metric(final, "iommu.translations"),
                     _sum_metric(final, "iommu.iotlb_misses"),
                     _sum_metric(final, "iommu.memory_reads"),

@@ -50,7 +50,11 @@ class MetricsSampler:
         self.ticks += 1
         if self.ticks >= self.max_samples or self.sim.alive_events == 0:
             # Workload drained (or the series is full): stop observing
-            # so the calendar can empty.
+            # so the calendar can empty.  A full series with workload
+            # still alive is a *truncated* time series — flag it on the
+            # phase (no-silent-caps rule) so reports can surface it.
+            if self.sim.alive_events > 0:
+                self.phase.truncated = True
             self.stopped = True
             return
         self.sim.call_after(self.interval_ns, self._tick, housekeeping=True)

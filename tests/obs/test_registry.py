@@ -136,6 +136,39 @@ def test_sampler_respects_max_samples():
     assert sampler.stopped
 
 
+def test_sampler_flags_truncation_when_workload_outlives_series():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    phase = registry.current_phase()
+
+    def keep_alive():
+        sim.call_after(10.0, keep_alive)
+
+    keep_alive()
+    sampler = MetricsSampler(sim, phase, 100.0, max_samples=5)
+    sampler.start()
+    sim.run(until=10_000.0)
+    assert sampler.stopped
+    assert phase.truncated
+    assert phase.to_dict()["truncated"] is True
+    # The summary table surfaces the flag next to the sample count.
+    headers, rows = registry.summary_rows()
+    assert rows[0][headers.index("samples")] == "5 (truncated)"
+
+
+def test_sampler_drained_workload_is_not_truncated():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    phase = registry.current_phase()
+    sim.call_after(250.0, lambda: None)
+    sampler = MetricsSampler(sim, phase, 100.0, max_samples=5)
+    sampler.start()
+    sim.run(until=10_000.0)
+    assert sampler.stopped
+    assert not phase.truncated
+    assert phase.to_dict()["truncated"] is False
+
+
 def test_series_padded_for_late_registration():
     registry = MetricsRegistry()
     phase = registry.current_phase()

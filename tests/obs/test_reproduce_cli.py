@@ -1,0 +1,302 @@
+"""``repro reproduce`` / ``repro diff``: report generation and gating."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import FigureResult, RunScale
+from repro.obs.expect import FigureSpec, is_zero, wins
+from repro.obs.expect.diffing import DiffResult, diff_documents
+from repro.obs.expect.reproduce import (
+    REPORT_SCHEMA,
+    default_runners,
+    provenance,
+    run_reproduce,
+)
+
+MICRO = RunScale(
+    name="micro",
+    warmup_ns=1_000_000.0,
+    measure_ns=2_000_000.0,
+    latency_measure_ns=4_000_000.0,
+)
+
+
+@pytest.fixture()
+def chdir_tmp(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def stub_runner(scale):
+    result = FigureResult("Fig S", "stub", ["mode", "x", "gbps", "drop%"])
+    result.rows = [
+        ["off", 1, 100.0, 0.0],
+        ["strict", 1, 60.0, 2.0],
+    ]
+    return result
+
+
+GOOD_SPEC = FigureSpec(
+    figure="stub",
+    title="stub figure",
+    expectations=(
+        is_zero("drop%", "off", claim="off never drops", paper="0"),
+        wins("off", "strict", "gbps", claim="off beats strict"),
+    ),
+)
+
+BROKEN_SPEC = FigureSpec(
+    figure="stub",
+    title="stub figure",
+    expectations=(
+        is_zero("drop%", "strict", claim="strict never drops", paper="0"),
+    ),
+)
+
+
+def reproduce(tmp_path, spec, **kwargs):
+    return run_reproduce(
+        ["stub"],
+        scale=MICRO,
+        report_path=str(tmp_path / "REPORT.md"),
+        json_path=str(tmp_path / "report.json"),
+        runners={"stub": stub_runner},
+        specs={"stub": spec},
+        echo=lambda _: None,
+        **kwargs,
+    )
+
+
+class TestRunReproduce:
+    def test_passing_claims_exit_zero_and_write_reports(self, tmp_path):
+        assert reproduce(tmp_path, GOOD_SPEC) == 0
+        doc = json.loads((tmp_path / "report.json").read_text())
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["summary"] == {
+            "claims": 2, "passed": 2, "failed": 0, "skipped": 0,
+        }
+        figure = doc["figures"][0]
+        assert figure["figure"] == "stub"
+        assert figure["claims"][0]["status"] == "pass"
+        assert figure["rows"][0] == ["off", 1, 100.0, 0.0]
+
+        md = (tmp_path / "REPORT.md").read_text()
+        assert "paper claims vs this reproduction" in md
+        assert "✓" in md and "✗" not in md
+        assert "off beats strict" in md
+        assert "2/2 pass" in md
+
+    def test_provenance_stamped(self, tmp_path):
+        reproduce(tmp_path, GOOD_SPEC, seed=7)
+        stamped = json.loads((tmp_path / "report.json").read_text())[
+            "provenance"
+        ]
+        assert set(stamped) == {
+            "git_sha", "scale", "seed", "figures", "config_hash",
+        }
+        assert stamped["scale"] == "micro"
+        assert stamped["seed"] == 7
+        assert stamped["figures"] == ["stub"]
+        assert len(stamped["config_hash"]) == 16
+
+    def test_broken_spec_exits_nonzero(self, tmp_path):
+        # The acceptance check: deliberately violate a claim and the
+        # reproduce gate must fail while still writing both reports.
+        assert reproduce(tmp_path, BROKEN_SPEC) == 1
+        doc = json.loads((tmp_path / "report.json").read_text())
+        assert doc["summary"]["failed"] == 1
+        assert "✗" in (tmp_path / "REPORT.md").read_text()
+
+    def test_unknown_figure_exits_two(self, tmp_path):
+        status = run_reproduce(
+            ["nope"],
+            scale=MICRO,
+            report_path=str(tmp_path / "R.md"),
+            json_path=str(tmp_path / "r.json"),
+            runners={"stub": stub_runner},
+            specs={"stub": GOOD_SPEC},
+            echo=lambda _: None,
+        )
+        assert status == 2
+
+    def test_config_hash_tracks_spec_and_seed(self):
+        base = provenance(["stub"], MICRO, 1, {"stub": GOOD_SPEC})
+        reseeded = provenance(["stub"], MICRO, 2, {"stub": GOOD_SPEC})
+        respecced = provenance(["stub"], MICRO, 1, {"stub": BROKEN_SPEC})
+        assert base["config_hash"] != reseeded["config_hash"]
+        assert base["config_hash"] != respecced["config_hash"]
+        again = provenance(["stub"], MICRO, 1, {"stub": GOOD_SPEC})
+        assert base["config_hash"] == again["config_hash"]
+
+    def test_default_runners_cover_all_specs(self):
+        from repro.obs.expectations import SPECS
+
+        assert set(default_runners()) == set(SPECS)
+
+
+class TestReproduceCli:
+    def test_cli_runs_figure_and_writes_reports(self, chdir_tmp, capsys):
+        status = main(
+            [
+                "reproduce",
+                "--figures",
+                "fig12",
+                "--out",
+                "R.md",
+                "--json",
+                "r.json",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "claims pass" in out
+        doc = json.loads((chdir_tmp / "r.json").read_text())
+        assert doc["provenance"]["figures"] == ["fig12"]
+        assert doc["summary"]["failed"] == 0
+        assert "Fig 12" in (chdir_tmp / "R.md").read_text()
+
+    def test_cli_rejects_unknown_figure(self, chdir_tmp):
+        assert main(["reproduce", "--figures", "fig99"]) == 2
+
+
+def make_report_doc(status="pass"):
+    return {
+        "schema": REPORT_SCHEMA,
+        "provenance": {"config_hash": "abcd"},
+        "figures": [
+            {
+                "figure": "stub",
+                "claims": [
+                    {"claim": "off never drops", "status": status},
+                    {"claim": "off beats strict", "status": "pass"},
+                ],
+            }
+        ],
+    }
+
+
+def make_bench_doc(wall=1.0):
+    return {
+        "schema": "repro.bench/1",
+        "benchmarks": [
+            {"name": "fig2[strict,20]", "wall_s": wall},
+            {"name": "fig2[off,20]", "wall_s": 0.5},
+        ],
+        "total_wall_s": wall + 0.5,
+    }
+
+
+class TestDiffDocuments:
+    def test_identical_reports_ok(self):
+        result = diff_documents(make_report_doc(), make_report_doc())
+        assert result.ok
+        assert "no differences" in result.format()
+
+    def test_pass_to_fail_is_regression(self):
+        result = diff_documents(
+            make_report_doc("pass"), make_report_doc("fail")
+        )
+        assert not result.ok
+        assert any("pass -> fail" in r for r in result.regressions)
+
+    def test_fail_to_pass_is_improvement(self):
+        result = diff_documents(
+            make_report_doc("fail"), make_report_doc("pass")
+        )
+        assert result.ok
+        assert any("fail -> pass" in i for i in result.improvements)
+
+    def test_disappeared_claim_is_regression(self):
+        shrunk = make_report_doc()
+        shrunk["figures"][0]["claims"].pop()
+        result = diff_documents(make_report_doc(), shrunk)
+        assert any("disappeared" in r for r in result.regressions)
+
+    def test_config_hash_change_is_noted(self):
+        other = make_report_doc()
+        other["provenance"]["config_hash"] = "ffff"
+        result = diff_documents(make_report_doc(), other)
+        assert result.ok
+        assert any("config hash changed" in n for n in result.notes)
+
+    def test_bench_regression_flagged(self):
+        # The acceptance check: a 2x wall-clock inflation must trip the
+        # 25% gate on both the benchmark and the total.
+        result = diff_documents(make_bench_doc(1.0), make_bench_doc(2.0))
+        assert not result.ok
+        assert any(
+            "fig2[strict,20]" in r and "2.00x" in r
+            for r in result.regressions
+        )
+        assert any(r.startswith("total:") for r in result.regressions)
+
+    def test_bench_within_threshold_ok(self):
+        result = diff_documents(make_bench_doc(1.0), make_bench_doc(1.1))
+        assert result.ok
+
+    def test_bench_speedup_is_improvement(self):
+        result = diff_documents(make_bench_doc(2.0), make_bench_doc(1.0))
+        assert result.ok
+        assert result.improvements
+
+    def test_bench_disappeared_benchmark_is_regression(self):
+        shrunk = make_bench_doc()
+        shrunk["benchmarks"].pop()
+        result = diff_documents(make_bench_doc(), shrunk)
+        assert any("disappeared" in r for r in result.regressions)
+
+    def test_custom_threshold(self):
+        lax = diff_documents(
+            make_bench_doc(1.0), make_bench_doc(2.0), threshold=1.5
+        )
+        assert lax.ok
+
+    def test_schema_mismatch_raises(self):
+        with pytest.raises(ValueError, match="schema mismatch"):
+            diff_documents(make_report_doc(), make_bench_doc())
+        with pytest.raises(ValueError, match="unsupported"):
+            diff_documents({"schema": "x/1"}, {"schema": "x/1"})
+
+    def test_missing_wall_is_note_not_crash(self):
+        broken = copy.deepcopy(make_bench_doc())
+        del broken["benchmarks"][0]["wall_s"]
+        result = diff_documents(make_bench_doc(), broken)
+        assert any("missing" in n for n in result.notes)
+
+
+class TestDiffCli:
+    def write(self, path, doc):
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_ok_diff_exits_zero(self, tmp_path, capsys):
+        old = self.write(tmp_path / "old.json", make_report_doc())
+        new = self.write(tmp_path / "new.json", make_report_doc())
+        assert main(["diff", old, new]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        old = self.write(tmp_path / "old.json", make_bench_doc(1.0))
+        new = self.write(tmp_path / "new.json", make_bench_doc(2.0))
+        assert main(["diff", old, new]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        old = self.write(tmp_path / "old.json", make_bench_doc(1.0))
+        new = self.write(tmp_path / "new.json", make_bench_doc(2.0))
+        assert main(["diff", old, new, "--threshold", "1.5"]) == 0
+
+    def test_unreadable_or_mismatched_inputs_exit_two(self, tmp_path):
+        good = self.write(tmp_path / "good.json", make_report_doc())
+        assert main(["diff", good, str(tmp_path / "absent.json")]) == 2
+        bench = self.write(tmp_path / "bench.json", make_bench_doc())
+        assert main(["diff", good, bench]) == 2
+
+
+def test_diff_result_format_counts():
+    result = DiffResult(kind="bench", regressions=["a", "b"])
+    text = result.format()
+    assert "FAIL" in text and "2 regression(s)" in text
