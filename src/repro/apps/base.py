@@ -154,7 +154,7 @@ class RequestResponseApp:
         host.on_delivery = self._on_host_delivery
         remote.on_delivery = self._on_remote_delivery
         # Kick off the pipeline once the simulation starts.
-        testbed.sim.call_after(0.0, self._start)
+        testbed.sim.schedule_after(0.0, self._start)
 
     # ------------------------------------------------------------------
     # Startup
@@ -239,7 +239,7 @@ class RequestResponseApp:
             # The response to one of our requests: transaction done.
             self._complete_request(connection)
             if self.think_ns > 0:
-                self.testbed.sim.call_after(
+                self.testbed.sim.schedule_after(
                     self.think_ns,
                     lambda conn=connection: self._issue_request(conn),
                 )

@@ -16,11 +16,14 @@ Usage::
     python -m repro bench                # wall-clock speed -> BENCH_sim.json
     python -m repro bench --check BENCH_sim.json
     python -m repro reproduce            # claims gate -> REPORT.md + report.json
-    python -m repro reproduce --figures fig2,fig7
+    python -m repro reproduce --figures fig2,fig7 --jobs 4
     python -m repro diff old.json new.json   # regression gate (report or bench)
+    python -m repro profile fig2         # cProfile hotspots for one figure
 
 Each command prints the reproduced table (the same rows the paper's
-figure plots) and exits 0.  Under ``--verify`` every simulated event is
+figure plots) and exits 0.  ``--jobs N`` fans a figure's independent
+sweep points across a process pool (:mod:`repro.parallel`); results
+are byte-identical to a serial run.  Under ``--verify`` every simulated event is
 additionally checked against the DMA-safety invariants
 (:mod:`repro.verify`); a violation aborts the run with a full event
 trace and exit code 1.  ``report`` runs a figure with the observability
@@ -58,6 +61,7 @@ from .experiments import (
 )
 from .faults import FaultPlan, faulted
 from .obs import MetricsRegistry, SpanTracer, observed
+from .parallel import RemotePointError
 from .verify import InvariantMonitor, InvariantViolation, monitored
 from .verify.lint import main as lint_main
 
@@ -137,7 +141,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "walk and invalidation spans to PATH"
         ),
     )
+    _add_jobs_argument(parser)
     return parser
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan independent sweep points across N worker processes; "
+            "results are byte-identical to a serial run (runs serially "
+            "under --verify/--faults/--trace, which need one process)"
+        ),
+    )
 
 
 def _build_report_parser() -> argparse.ArgumentParser:
@@ -180,6 +199,7 @@ def _build_report_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fault-plan seed (only used by the 'faults' figure)",
     )
+    _add_jobs_argument(parser)
     return parser
 
 
@@ -206,6 +226,16 @@ def _build_bench_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="validate an existing BENCH_sim.json instead of running",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "additionally time the sweep suite serially and through an "
+            "N-worker pool, recording the multi-job speed-up"
+        ),
     )
     return parser
 
@@ -252,6 +282,52 @@ def _build_reproduce_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run seed recorded in the provenance manifest",
     )
+    _add_jobs_argument(parser)
+    return parser
+
+
+def _build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description=(
+            "Run one figure under cProfile and print the hottest "
+            "functions by cumulative time.  Always runs serially: a "
+            "process pool would move the interesting work out of the "
+            "profiled process."
+        ),
+    )
+    parser.add_argument("figure", help="figure id (see 'repro list')")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-length runs instead of quick",
+    )
+    parser.add_argument(
+        "--lines",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of stats rows to print (default: 25)",
+    )
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        metavar="KEY",
+        help="pstats sort key (default: cumulative; e.g. tottime)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also dump raw pstats data to PATH (for snakeviz etc.)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sweep seed (matches 'repro <figure> --seed')",
+    )
     return parser
 
 
@@ -284,13 +360,19 @@ def _run_reproduce(raw: list[str]) -> int:
     if args.figures is not None:
         figures = [f.strip() for f in args.figures.split(",") if f.strip()]
     scale = FULL if args.full else QUICK
-    return run_reproduce(
-        figures,
-        scale=scale,
-        seed=args.seed,
-        report_path=args.out,
-        json_path=args.json,
-    )
+    try:
+        return run_reproduce(
+            figures,
+            scale=scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            report_path=args.out,
+            json_path=args.json,
+        )
+    except RemotePointError as error:
+        print(f"{error.label}: WORKER FAILURE", file=sys.stderr)
+        print(error.format_trace(), file=sys.stderr)
+        return 1
 
 
 def _run_diff(raw: list[str]) -> int:
@@ -336,14 +418,15 @@ def _run_figure(
     out_path: Optional[str],
     seed: int = 1,
     plan: Optional[FaultPlan] = None,
+    jobs: Optional[int] = None,
 ) -> int:
     runner, _description = FIGURES[name]
     if name == "faults":
         # The sweep runs every row under its own monitor (safety is
         # the experiment); --verify only changes the summary line.
         try:
-            result = runner(scale=scale, seed=seed, plan=plan)
-        except InvariantViolation as violation:
+            result = runner(scale=scale, seed=seed, plan=plan, jobs=jobs)
+        except (InvariantViolation, RemotePointError) as violation:
             print(f"{name}: INVARIANT VIOLATION", file=sys.stderr)
             print(violation.format_trace(), file=sys.stderr)
             return 1
@@ -357,14 +440,16 @@ def _run_figure(
         return 0
     inject = faulted(plan) if plan is not None else contextlib.nullcontext()
     if not verify:
+        # run_points falls back to serial by itself when a fault plan
+        # or tracer is installed; jobs only fans out the clean path.
         with inject:
-            result = runner(scale=scale)
+            result = runner(scale=scale, seed=seed, jobs=jobs)
         _emit(result.format(), out_path)
         return 0
     monitor = InvariantMonitor()
     try:
         with monitored(monitor), inject:
-            result = runner(scale=scale)
+            result = runner(scale=scale, seed=seed, jobs=jobs)
     except InvariantViolation as violation:
         print(f"{name}: INVARIANT VIOLATION", file=sys.stderr)
         print(violation.format_trace(), file=sys.stderr)
@@ -385,14 +470,22 @@ def _run_report(raw: list[str]) -> int:
     scale = FULL if args.full else QUICK
     metrics_path = args.out or f"{args.figure}_metrics.json"
     trace_path = args.trace or f"{args.figure}_trace.json"
+    # Spans cannot merge across processes, so a multi-job report keeps
+    # the metrics registry (phases are adopted from workers) but skips
+    # the tracer; a tracer would force run_points serial anyway.
+    parallel = args.jobs is not None and args.jobs > 1
     registry = MetricsRegistry(
-        tracer=SpanTracer(),
+        tracer=None if parallel else SpanTracer(),
         sample_interval_ns=args.interval_ns,
     )
     runner, _description = FIGURES[args.figure]
-    kwargs = {"seed": args.seed} if args.figure == "faults" else {}
-    with observed(registry):
-        result = runner(scale=scale, **kwargs)
+    try:
+        with observed(registry):
+            result = runner(scale=scale, seed=args.seed, jobs=args.jobs)
+    except RemotePointError as error:
+        print(f"{error.label}: WORKER FAILURE", file=sys.stderr)
+        print(error.format_trace(), file=sys.stderr)
+        return 1
     print(result.format())
     headers, rows = registry.summary_rows()
     print()
@@ -400,12 +493,16 @@ def _run_report(raw: list[str]) -> int:
     with open(metrics_path, "w") as handle:
         json.dump(registry.report(), handle, indent=2)
         handle.write("\n")
-    registry.tracer.write(trace_path)
     print(f"\nmetrics: {metrics_path}")
-    print(
-        f"trace:   {trace_path} "
-        f"({len(registry.tracer.events)} events; load at ui.perfetto.dev)"
-    )
+    if registry.tracer is not None:
+        registry.tracer.write(trace_path)
+        print(
+            f"trace:   {trace_path} "
+            f"({len(registry.tracer.events)} events; "
+            "load at ui.perfetto.dev)"
+        )
+    else:
+        print("trace:   skipped (--jobs > 1; spans are per-process)")
     return 0
 
 
@@ -428,7 +525,7 @@ def _run_bench(raw: list[str]) -> int:
         print(f"{args.check}: schema OK "
               f"({len(doc['benchmarks'])} benchmarks)")
         return 0
-    doc = bench.write_bench(args.out, full=args.full)
+    doc = bench.write_bench(args.out, full=args.full, jobs=args.jobs)
     for point in doc["benchmarks"]:
         print(
             f"{point['name']:14s} {point['wall_s']:7.2f}s wall  "
@@ -436,6 +533,41 @@ def _run_bench(raw: list[str]) -> int:
             f"{point['sim_ns_per_wall_s'] / 1e6:8.1f} sim-ms/s"
         )
     print(f"total: {doc['total_wall_s']:.2f}s wall -> {args.out}")
+    return 0
+
+
+def _run_profile(raw: list[str]) -> int:
+    import cProfile
+    import io
+    import pstats
+
+    args = _build_profile_parser().parse_args(raw)
+    if args.figure not in FIGURES:
+        print(f"unknown figure {args.figure!r}\n\n{_list_figures()}",
+              file=sys.stderr)
+        return 2
+    scale = FULL if args.full else QUICK
+    runner, _description = FIGURES[args.figure]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = runner(scale=scale, seed=args.seed)
+    finally:
+        profiler.disable()
+    print(result.format())
+    print()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    try:
+        stats.sort_stats(args.sort)
+    except KeyError:
+        print(f"unknown sort key {args.sort!r}", file=sys.stderr)
+        return 2
+    stats.print_stats(args.lines)
+    print(stream.getvalue().rstrip())
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"\nraw stats: {args.out}")
     return 0
 
 
@@ -451,6 +583,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_reproduce(raw[1:])
     if raw and raw[0] == "diff":
         return _run_diff(raw[1:])
+    if raw and raw[0] == "profile":
+        return _run_profile(raw[1:])
     if raw and raw[0] == "run":
         # ``repro run fig7 --verify`` is an alias for ``repro fig7``.
         raw = raw[1:]
@@ -487,7 +621,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         for name in names:
             status = _run_figure(
                 name, scale, args.verify, args.out, seed=args.seed,
-                plan=plan,
+                plan=plan, jobs=args.jobs,
             )
             if status:
                 return status

@@ -16,10 +16,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..apps.iperf import run_iperf
-from ..faults import FaultPlan, FaultSpec, faulted
-from ..verify import InvariantMonitor, monitored
-from .figures import FigureResult, _obs_phase
+from ..faults import FaultPlan, FaultSpec
+from ..parallel import PointSpec, derive_seed, run_points
+from .figures import FigureResult
 from .settings import FULL, RunScale
 
 __all__ = ["fault_sweep", "sweep_plans"]
@@ -36,8 +35,8 @@ FAULTS_HEADERS = [
 
 # Windowed faults open shortly after warm-up traffic is flowing; the
 # offsets are fractions of the warm-up so the sweep scales with
-# QUICK/FULL.
-_WATCHDOG_INTERVAL_NS = 2_000_000.0
+# QUICK/FULL.  (The per-row watchdog interval lives with the fault_row
+# point runner in repro.experiments.points.)
 
 
 def sweep_plans(
@@ -158,11 +157,16 @@ def fault_sweep(
     mode: str = "fns",
     flows: int = 5,
     plan: Optional[FaultPlan] = None,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Baseline + per-family fault rows, each under the monitor.
 
     With ``plan`` given, sweeps only that plan (the CLI's ``--faults
-    plan.json`` path); otherwise the built-in per-family plans.
+    plan.json`` path); otherwise the built-in per-family plans.  Rows
+    are independent (each carries its own monitor and plan inside the
+    point), so ``jobs > 1`` fans them across the shared process pool —
+    plans are built here, in the parent, and are byte-identical in
+    every process.
     """
     result = FigureResult(
         "Faults",
@@ -179,45 +183,37 @@ def fault_sweep(
         if plan is not None
         else sweep_plans(seed, scale)
     )
-    for label, row_plan in [("none", None)] + plans:
-        _obs_phase(f"faults {mode} {label}")
-        monitor = InvariantMonitor()
-        with monitored(monitor):
-            if row_plan is None:
-                point = run_iperf(
-                    mode,
-                    flows=flows,
-                    warmup_ns=scale.warmup_ns,
-                    measure_ns=scale.measure_ns,
-                    strict_until=True,
-                    watchdog_interval_ns=_WATCHDOG_INTERVAL_NS,
-                )
-                injected = 0
-            else:
-                with faulted(row_plan) as runtime:
-                    point = run_iperf(
-                        mode,
-                        flows=flows,
-                        warmup_ns=scale.warmup_ns,
-                        measure_ns=scale.measure_ns,
-                        strict_until=True,
-                        watchdog_interval_ns=_WATCHDOG_INTERVAL_NS,
-                    )
-                injected = runtime.injected_faults
-                result.raw[label] = {
-                    "plan": row_plan,
-                    "timeline": runtime.timeline_text(),
-                    "point": point,
-                }
+    specs = [
+        PointSpec(
+            figure="Faults",
+            runner="fault_row",
+            mode=mode,
+            x=label,
+            label=f"faults {mode} {label}",
+            seed=derive_seed(seed, "Faults", mode, label),
+            payload=(row_plan, flows),
+        )
+        for label, row_plan in [("none", None)] + plans
+    ]
+    by_label = dict([("none", None)] + plans)
+    for spec, row in zip(specs, run_points(specs, scale, jobs=jobs)):
+        point = row["point"]
+        row_plan = by_label[spec.x]
+        if row_plan is not None:
+            result.raw[spec.x] = {
+                "plan": row_plan,
+                "timeline": row["timeline"],
+                "point": point,
+            }
         result.rows.append(
             [
-                label,
+                spec.x,
                 round(point.rx_goodput_gbps, 2),
                 round(100 * point.drop_fraction, 3),
                 point.extras.get("invalidation_retries", 0),
                 point.extras.get("degraded_flushes", 0),
-                injected,
-                len(monitor.violations),
+                row["injected"],
+                row["violations"],
             ]
         )
     return result

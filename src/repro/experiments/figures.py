@@ -5,22 +5,26 @@ protection modes and returns a :class:`FigureResult` whose rows are the
 series the paper plots.  The benchmark suite prints these tables; the
 integration tests assert the qualitative shapes (who wins, what is
 zero, what grows).
+
+Sweeps are declarative: each figure builds a list of
+:class:`~repro.parallel.spec.PointSpec` cells and hands them to
+:func:`repro.parallel.run_points`, which runs them serially by default
+or fans them across worker processes when ``jobs > 1`` — with
+byte-identical rows, raw results and metric phases either way.  Row
+formatting always happens here, in the parent, from the returned
+point objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..analysis.locality import summarize_locality
 from ..analysis.model import ModelPoint, fit_l0_lm, model_error
 from ..analysis.report import format_figure
-from ..apps.iperf import run_bidirectional_iperf, run_iperf
-from ..apps.netperf import run_netperf_rpc
-from ..apps.nginx import run_nginx
-from ..apps.redis import run_redis
-from ..apps.spdk import run_spdk
 from ..obs.hooks import current_registry
+from ..parallel import PointSpec, derive_seed, run_points
 from .settings import FULL, RunScale
 
 
@@ -106,6 +110,29 @@ def _iperf_row(mode: str, x, result) -> list:
     ]
 
 
+def _grid_specs(
+    figure_id: str,
+    runner: str,
+    modes: Sequence[str],
+    x_name: str,
+    x_values: Sequence,
+    seed: int,
+) -> list[PointSpec]:
+    """The mode × x grid as point specs, in serial sweep order."""
+    return [
+        PointSpec(
+            figure=figure_id,
+            runner=runner,
+            mode=mode,
+            x=x,
+            label=f"{figure_id} {mode} {x_name}={x}",
+            seed=derive_seed(seed, figure_id, mode, x),
+        )
+        for mode in modes
+        for x in x_values
+    ]
+
+
 def _sweep_iperf(
     figure_id: str,
     title: str,
@@ -113,33 +140,16 @@ def _sweep_iperf(
     x_name: str,
     x_values: Sequence[int],
     scale: RunScale,
-    **point_kwargs_fn,
+    jobs: Optional[int] = None,
+    seed: int = 1,
 ) -> FigureResult:
     headers = [x_name if h == "x" else h for h in IPERF_HEADERS]
     result = FigureResult(figure_id, title, headers)
-    for mode in modes:
-        for x in x_values:
-            _obs_phase(f"{figure_id} {mode} {x_name}={x}")
-            kwargs = dict(point_kwargs_fn)
-            if x_name == "flows":
-                point = run_iperf(
-                    mode,
-                    flows=x,
-                    warmup_ns=scale.warmup_ns,
-                    measure_ns=scale.measure_ns,
-                    **kwargs,
-                )
-            else:
-                point = run_iperf(
-                    mode,
-                    flows=5,
-                    warmup_ns=scale.warmup_ns,
-                    measure_ns=scale.measure_ns,
-                    ring_size_packets=x,
-                    **kwargs,
-                )
-            result.rows.append(_iperf_row(mode, x, point))
-            result.raw[(mode, x)] = point
+    runner = "iperf_flows" if x_name == "flows" else "iperf_ring"
+    specs = _grid_specs(figure_id, runner, modes, x_name, x_values, seed)
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
+        result.rows.append(_iperf_row(spec.mode, spec.x, point))
+        result.raw[(spec.mode, spec.x)] = point
     return result
 
 
@@ -150,11 +160,13 @@ def fig2_flows(
     modes: Sequence[str] = ("off", "strict"),
     flows: Sequence[int] = (5, 10, 20, 40),
     scale: RunScale = FULL,
+    jobs: Optional[int] = None,
+    seed: int = 1,
 ) -> FigureResult:
     """Fig 2: throughput/drops/misses/locality vs number of flows."""
     return _sweep_iperf(
         "Fig 2", "Linux strict vs IOMMU off, varying flows",
-        modes, "flows", flows, scale,
+        modes, "flows", flows, scale, jobs=jobs, seed=seed,
     )
 
 
@@ -162,11 +174,13 @@ def fig3_ring(
     modes: Sequence[str] = ("off", "strict"),
     ring_sizes: Sequence[int] = (256, 512, 1024, 2048),
     scale: RunScale = FULL,
+    jobs: Optional[int] = None,
+    seed: int = 1,
 ) -> FigureResult:
     """Fig 3: same metrics vs Rx ring buffer size (5 flows)."""
     return _sweep_iperf(
         "Fig 3", "Linux strict vs IOMMU off, varying ring size",
-        modes, "ring", ring_sizes, scale,
+        modes, "ring", ring_sizes, scale, jobs=jobs, seed=seed,
     )
 
 
@@ -176,6 +190,8 @@ def fig3_ring(
 def model_fit(
     scale: RunScale = FULL,
     flows: Sequence[int] = (5, 10, 20, 40),
+    jobs: Optional[int] = None,
+    seed: int = 1,
 ) -> FigureResult:
     """Validate §2.2's model T = p/(l0 + M·lm) against the simulator.
 
@@ -186,16 +202,20 @@ def model_fit(
     negative least squares over the sweep) recovers the same
     magnitudes.
     """
-    points: dict[int, ModelPoint] = {}
-    for count in flows:
-        _obs_phase(f"Model strict flows={count}")
-        measured = run_iperf(
-            "strict",
-            flows=count,
-            warmup_ns=scale.warmup_ns,
-            measure_ns=scale.measure_ns,
+    specs = [
+        PointSpec(
+            figure="Model",
+            runner="iperf_flows",
+            mode="strict",
+            x=count,
+            label=f"Model strict flows={count}",
+            seed=derive_seed(seed, "Model", "strict", count),
         )
-        points[count] = ModelPoint(
+        for count in flows
+    ]
+    points: dict[int, ModelPoint] = {}
+    for spec, measured in zip(specs, run_points(specs, scale, jobs=jobs)):
+        points[spec.x] = ModelPoint(
             packet_bytes=4096,
             memory_reads=measured.memory_reads_per_page,
             measured_gbps=measured.rx_goodput_gbps,
@@ -247,11 +267,13 @@ def fig7_fns_flows(
     modes: Sequence[str] = ("off", "strict", "fns"),
     flows: Sequence[int] = (5, 10, 20, 40),
     scale: RunScale = FULL,
+    jobs: Optional[int] = None,
+    seed: int = 1,
 ) -> FigureResult:
     """Fig 7: F&S vs Linux strict vs IOMMU off, varying flows."""
     return _sweep_iperf(
         "Fig 7", "F&S eliminates memory-protection overheads (flows)",
-        modes, "flows", flows, scale,
+        modes, "flows", flows, scale, jobs=jobs, seed=seed,
     )
 
 
@@ -259,11 +281,13 @@ def fig8_fns_ring(
     modes: Sequence[str] = ("off", "strict", "fns"),
     ring_sizes: Sequence[int] = (256, 512, 1024, 2048),
     scale: RunScale = FULL,
+    jobs: Optional[int] = None,
+    seed: int = 1,
 ) -> FigureResult:
     """Fig 8: F&S locality holds as the IO working set grows."""
     return _sweep_iperf(
         "Fig 8", "F&S under increasing ring sizes",
-        modes, "ring", ring_sizes, scale,
+        modes, "ring", ring_sizes, scale, jobs=jobs, seed=seed,
     )
 
 
@@ -274,6 +298,8 @@ def fig9_rpc_latency(
     modes: Sequence[str] = ("off", "strict", "fns"),
     rpc_sizes: Sequence[int] = (128, 1024, 4096, 32768),
     scale: RunScale = FULL,
+    jobs: Optional[int] = None,
+    seed: int = 1,
 ) -> FigureResult:
     """Fig 9: netperf RPC percentiles colocated with iperf."""
     result = FigureResult(
@@ -281,30 +307,23 @@ def fig9_rpc_latency(
         "RPC tail latency (us) colocated with iperf",
         ["mode", "rpc_bytes", "n", "p50", "p90", "p99", "p99.9", "p99.99", "bg_gbps"],
     )
-    for mode in modes:
-        for size in rpc_sizes:
-            _obs_phase(f"Fig 9 {mode} rpc={size}")
-            point = run_netperf_rpc(
-                mode,
-                size,
-                warmup_ns=scale.warmup_ns,
-                measure_ns=scale.latency_measure_ns,
-            )
-            us = {k: v / 1000 for k, v in point.percentiles_ns.items()}
-            result.rows.append(
-                [
-                    mode,
-                    size,
-                    point.rpc_count,
-                    round(us.get(50.0, 0.0), 1),
-                    round(us.get(90.0, 0.0), 1),
-                    round(us.get(99.0, 0.0), 1),
-                    round(us.get(99.9, 0.0), 1),
-                    round(us.get(99.99, 0.0), 1),
-                    round(point.background_gbps, 1),
-                ]
-            )
-            result.raw[(mode, size)] = point
+    specs = _grid_specs("Fig 9", "netperf_rpc", modes, "rpc", rpc_sizes, seed)
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
+        us = {k: v / 1000 for k, v in point.percentiles_ns.items()}
+        result.rows.append(
+            [
+                spec.mode,
+                spec.x,
+                point.rpc_count,
+                round(us.get(50.0, 0.0), 1),
+                round(us.get(90.0, 0.0), 1),
+                round(us.get(99.0, 0.0), 1),
+                round(us.get(99.9, 0.0), 1),
+                round(us.get(99.99, 0.0), 1),
+                round(point.background_gbps, 1),
+            ]
+        )
+        result.raw[(spec.mode, spec.x)] = point
     return result
 
 
@@ -315,6 +334,8 @@ def fig10_rxtx(
     modes: Sequence[str] = ("off", "strict", "fns"),
     core_counts: Sequence[int] = (1, 2, 4),
     scale: RunScale = FULL,
+    jobs: Optional[int] = None,
+    seed: int = 1,
 ) -> FigureResult:
     """Fig 10: Rx/Tx interference on the Ice Lake testbed."""
     result = FigureResult(
@@ -322,26 +343,20 @@ def fig10_rxtx(
         "Concurrent Rx and Tx iperf (Ice Lake)",
         ["mode", "cores", "rx_gbps", "tx_gbps", "drop%"],
     )
-    for mode in modes:
-        for cores in core_counts:
-            _obs_phase(f"Fig 10 {mode} cores={cores}")
-            point = run_bidirectional_iperf(
-                mode,
-                cores,
-                cores,
-                warmup_ns=scale.warmup_ns,
-                measure_ns=scale.measure_ns,
-            )
-            result.rows.append(
-                [
-                    mode,
-                    cores,
-                    round(point.rx_goodput_gbps, 1),
-                    round(point.tx_goodput_gbps, 1),
-                    round(point.drop_fraction * 100, 2),
-                ]
-            )
-            result.raw[(mode, cores)] = point
+    specs = _grid_specs(
+        "Fig 10", "bidir_iperf", modes, "cores", core_counts, seed
+    )
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
+        result.rows.append(
+            [
+                spec.mode,
+                spec.x,
+                round(point.rx_goodput_gbps, 1),
+                round(point.tx_goodput_gbps, 1),
+                round(point.drop_fraction * 100, 2),
+            ]
+        )
+        result.raw[(spec.mode, spec.x)] = point
     return result
 
 
@@ -352,6 +367,8 @@ def fig11_redis(
     modes: Sequence[str] = ("off", "strict", "fns"),
     value_sizes: Sequence[int] = (4096, 8192, 32768, 131072),
     scale: RunScale = FULL,
+    jobs: Optional[int] = None,
+    seed: int = 1,
 ) -> FigureResult:
     """Fig 11a: Redis 100% SET throughput by value size."""
     result = FigureResult(
@@ -359,25 +376,18 @@ def fig11_redis(
         "Redis SET throughput",
         ["mode", "value_bytes", "gbps", "kreq/s", "iotlb/pg"],
     )
-    for mode in modes:
-        for size in value_sizes:
-            _obs_phase(f"Fig 11a {mode} value={size}")
-            point = run_redis(
-                mode,
-                size,
-                warmup_ns=scale.warmup_ns,
-                measure_ns=scale.measure_ns,
-            )
-            result.rows.append(
-                [
-                    mode,
-                    size,
-                    round(point.goodput_gbps, 1),
-                    round(point.requests_per_second / 1000, 0),
-                    round(point.iotlb_misses_per_page, 2),
-                ]
-            )
-            result.raw[(mode, size)] = point
+    specs = _grid_specs("Fig 11a", "redis", modes, "value", value_sizes, seed)
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
+        result.rows.append(
+            [
+                spec.mode,
+                spec.x,
+                round(point.goodput_gbps, 1),
+                round(point.requests_per_second / 1000, 0),
+                round(point.iotlb_misses_per_page, 2),
+            ]
+        )
+        result.raw[(spec.mode, spec.x)] = point
     return result
 
 
@@ -385,6 +395,8 @@ def fig11_nginx(
     modes: Sequence[str] = ("off", "strict", "fns"),
     page_sizes: Sequence[int] = (131072, 524288, 2097152),
     scale: RunScale = FULL,
+    jobs: Optional[int] = None,
+    seed: int = 1,
 ) -> FigureResult:
     """Fig 11b: Nginx page-serving throughput by page size."""
     result = FigureResult(
@@ -392,24 +404,17 @@ def fig11_nginx(
         "Nginx throughput",
         ["mode", "page_bytes", "gbps", "req/s"],
     )
-    for mode in modes:
-        for size in page_sizes:
-            _obs_phase(f"Fig 11b {mode} page={size}")
-            point = run_nginx(
-                mode,
-                size,
-                warmup_ns=scale.warmup_ns,
-                measure_ns=scale.measure_ns,
-            )
-            result.rows.append(
-                [
-                    mode,
-                    size,
-                    round(point.goodput_gbps, 1),
-                    round(point.requests_per_second, 0),
-                ]
-            )
-            result.raw[(mode, size)] = point
+    specs = _grid_specs("Fig 11b", "nginx", modes, "page", page_sizes, seed)
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
+        result.rows.append(
+            [
+                spec.mode,
+                spec.x,
+                round(point.goodput_gbps, 1),
+                round(point.requests_per_second, 0),
+            ]
+        )
+        result.raw[(spec.mode, spec.x)] = point
     return result
 
 
@@ -417,6 +422,8 @@ def fig11_spdk(
     modes: Sequence[str] = ("off", "strict", "fns"),
     block_sizes: Sequence[int] = (32768, 65536, 262144),
     scale: RunScale = FULL,
+    jobs: Optional[int] = None,
+    seed: int = 1,
 ) -> FigureResult:
     """Fig 11c: SPDK remote read throughput by block size."""
     result = FigureResult(
@@ -424,25 +431,18 @@ def fig11_spdk(
         "SPDK remote read throughput",
         ["mode", "block_bytes", "gbps", "kiops", "iotlb/pg"],
     )
-    for mode in modes:
-        for size in block_sizes:
-            _obs_phase(f"Fig 11c {mode} block={size}")
-            point = run_spdk(
-                mode,
-                size,
-                warmup_ns=scale.warmup_ns,
-                measure_ns=scale.measure_ns,
-            )
-            result.rows.append(
-                [
-                    mode,
-                    size,
-                    round(point.goodput_gbps, 1),
-                    round(point.iops / 1000, 1),
-                    round(point.iotlb_misses_per_page, 2),
-                ]
-            )
-            result.raw[(mode, size)] = point
+    specs = _grid_specs("Fig 11c", "spdk", modes, "block", block_sizes, seed)
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
+        result.rows.append(
+            [
+                spec.mode,
+                spec.x,
+                round(point.goodput_gbps, 1),
+                round(point.iops / 1000, 1),
+                round(point.iotlb_misses_per_page, 2),
+            ]
+        )
+        result.raw[(spec.mode, spec.x)] = point
     return result
 
 
@@ -453,6 +453,8 @@ def fig12_ablation(
     modes: Sequence[str] = ("strict", "linux+A", "linux+B", "fns", "off"),
     value_bytes: int = 8192,
     scale: RunScale = FULL,
+    jobs: Optional[int] = None,
+    seed: int = 1,
 ) -> FigureResult:
     """Fig 12: each F&S idea is necessary (Redis, 8 KB values).
 
@@ -463,22 +465,26 @@ def fig12_ablation(
         "Contribution of each F&S idea (Redis 8 KB SET)",
         ["mode", "value_bytes", "gbps", "l3/pg", "iotlb/pg"],
     )
-    for mode in modes:
-        _obs_phase(f"Fig 12 {mode}")
-        point = run_redis(
-            mode,
-            value_bytes,
-            warmup_ns=scale.warmup_ns,
-            measure_ns=scale.measure_ns,
+    specs = [
+        PointSpec(
+            figure="Fig 12",
+            runner="redis",
+            mode=mode,
+            x=value_bytes,
+            label=f"Fig 12 {mode}",
+            seed=derive_seed(seed, "Fig 12", mode, value_bytes),
         )
+        for mode in modes
+    ]
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
         result.rows.append(
             [
-                mode,
+                spec.mode,
                 value_bytes,
                 round(point.goodput_gbps, 1),
                 round(point.ptcache_l3_misses_per_page, 3),
                 round(point.iotlb_misses_per_page, 2),
             ]
         )
-        result.raw[mode] = point
+        result.raw[spec.mode] = point
     return result

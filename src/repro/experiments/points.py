@@ -1,0 +1,162 @@
+"""Registered point runners: one callable per sweep-cell shape.
+
+Every figure sweep cell — "run iperf in this mode with this many
+flows" — is expressed as a named entry in :data:`POINT_RUNNERS` so the
+parallel executor can name it in a picklable
+:class:`~repro.parallel.spec.PointSpec` and execute it in any process.
+A runner takes ``(spec, scale)`` and returns the app's picklable result
+object; row formatting stays in the figure assemblers
+(:mod:`repro.experiments.figures`), which run in the parent either way.
+
+The fault row is special: its invariant monitor and fault plan are
+*part of the point* (each row gets a fresh monitor; the plan ships in
+``spec.payload``), so fault sweeps parallelize without any global
+hook state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..apps.iperf import run_bidirectional_iperf, run_iperf
+from ..apps.netperf import run_netperf_rpc
+from ..apps.nginx import run_nginx
+from ..apps.redis import run_redis
+from ..apps.spdk import run_spdk
+from ..faults import faulted
+from ..parallel.spec import PointSpec
+from ..verify import InvariantMonitor, monitored
+from .settings import RunScale
+
+__all__ = ["POINT_RUNNERS", "point_runner"]
+
+POINT_RUNNERS: Dict[str, Callable[[PointSpec, RunScale], object]] = {}
+
+# Fault rows watchdog their runs: an injected fault that deadlocks the
+# workload must become a pending-event trace, not an infinite loop.
+_FAULT_WATCHDOG_INTERVAL_NS = 2_000_000.0
+
+
+def point_runner(name: str):
+    """Register a point runner under ``name`` (its PointSpec key)."""
+
+    def register(fn):
+        POINT_RUNNERS[name] = fn
+        return fn
+
+    return register
+
+
+@point_runner("iperf_flows")
+def _iperf_flows(spec: PointSpec, scale: RunScale):
+    return run_iperf(
+        spec.mode,
+        flows=spec.x,
+        warmup_ns=scale.warmup_ns,
+        measure_ns=scale.measure_ns,
+    )
+
+
+@point_runner("iperf_ring")
+def _iperf_ring(spec: PointSpec, scale: RunScale):
+    return run_iperf(
+        spec.mode,
+        flows=5,
+        warmup_ns=scale.warmup_ns,
+        measure_ns=scale.measure_ns,
+        ring_size_packets=spec.x,
+    )
+
+
+@point_runner("netperf_rpc")
+def _netperf_rpc(spec: PointSpec, scale: RunScale):
+    return run_netperf_rpc(
+        spec.mode,
+        spec.x,
+        warmup_ns=scale.warmup_ns,
+        measure_ns=scale.latency_measure_ns,
+    )
+
+
+@point_runner("bidir_iperf")
+def _bidir_iperf(spec: PointSpec, scale: RunScale):
+    return run_bidirectional_iperf(
+        spec.mode,
+        spec.x,
+        spec.x,
+        warmup_ns=scale.warmup_ns,
+        measure_ns=scale.measure_ns,
+    )
+
+
+@point_runner("redis")
+def _redis(spec: PointSpec, scale: RunScale):
+    return run_redis(
+        spec.mode,
+        spec.x,
+        warmup_ns=scale.warmup_ns,
+        measure_ns=scale.measure_ns,
+    )
+
+
+@point_runner("nginx")
+def _nginx(spec: PointSpec, scale: RunScale):
+    return run_nginx(
+        spec.mode,
+        spec.x,
+        warmup_ns=scale.warmup_ns,
+        measure_ns=scale.measure_ns,
+    )
+
+
+@point_runner("spdk")
+def _spdk(spec: PointSpec, scale: RunScale):
+    return run_spdk(
+        spec.mode,
+        spec.x,
+        warmup_ns=scale.warmup_ns,
+        measure_ns=scale.measure_ns,
+    )
+
+
+@point_runner("fault_row")
+def _fault_row(spec: PointSpec, scale: RunScale):
+    """One fault-sweep row: iperf under a fresh monitor (+ plan).
+
+    ``spec.payload`` is ``(plan_or_None, flows)``; the baseline row
+    ships ``plan=None``.  The monitor and fault runtime are scoped to
+    this call, so the row behaves identically inline and in a worker.
+    A violation propagates (the sweep's safety bar).
+    """
+    plan, flows = spec.payload
+    monitor = InvariantMonitor()
+    timeline = None
+    injected = 0
+    with monitored(monitor):
+        if plan is None:
+            point = run_iperf(
+                spec.mode,
+                flows=flows,
+                warmup_ns=scale.warmup_ns,
+                measure_ns=scale.measure_ns,
+                strict_until=True,
+                watchdog_interval_ns=_FAULT_WATCHDOG_INTERVAL_NS,
+            )
+        else:
+            with faulted(plan) as runtime:
+                point = run_iperf(
+                    spec.mode,
+                    flows=flows,
+                    warmup_ns=scale.warmup_ns,
+                    measure_ns=scale.measure_ns,
+                    strict_until=True,
+                    watchdog_interval_ns=_FAULT_WATCHDOG_INTERVAL_NS,
+                )
+            injected = runtime.injected_faults
+            timeline = runtime.timeline_text()
+    return {
+        "point": point,
+        "injected": injected,
+        "violations": len(monitor.violations),
+        "timeline": timeline,
+    }

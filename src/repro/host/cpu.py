@@ -49,7 +49,7 @@ class CoreSet:
         self.busy_ns[core] += cost_ns
         self.tasks_run[core] += 1
         if fn is not None:
-            self.sim.call_at(finish, fn)
+            self.sim.schedule_at(finish, fn)
         return finish
 
     def charge(self, core: int, cost_ns: float) -> float:

@@ -106,7 +106,7 @@ class RemotePeer:
     # ------------------------------------------------------------------
     def packet_from_wire(self, packet: Packet) -> None:
         """Handle a delivered packet after a small processing delay."""
-        self.sim.call_after(
+        self.sim.schedule_after(
             self.processing_delay_ns, lambda: self._process(packet)
         )
 

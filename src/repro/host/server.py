@@ -350,7 +350,7 @@ class Host:
             ):
                 self._poll_timer[core].cancel()
                 self._poll_timer[core] = None
-                self.sim.call_after(0.0, lambda: self._poll(core))
+                self.sim.schedule_after(0.0, lambda: self._poll(core))
             return
         self._poll_scheduled[core] = True
         self._poll_timer[core] = self.sim.call_after(

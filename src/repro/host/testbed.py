@@ -285,4 +285,8 @@ class Testbed:
         faults = current_faults()
         if faults is not None:
             result.extras["injected_faults"] = faults.injected_faults
+        # Engine-level work done so far, for wall-clock benchmarks that
+        # aggregate over many testbeds (events are load-independent,
+        # unlike the wall clock).
+        result.extras["executed_events"] = self.sim.executed_events
         return result

@@ -124,7 +124,26 @@ class Iommu:
         if self.config.walkers <= 0:
             raise ValueError("need at least one walker")
         self._walker_free = [0.0] * self.config.walkers
+        # One-entry translation fast path.  The NIC splits every 4 KB
+        # page into max_payload-sized TLPs, so consecutive translate()
+        # calls overwhelmingly repeat the same (source, page).  Cache
+        # the last hit keyed on (source, page, IOTLB generation): any
+        # IOTLB mutation — insert, eviction, invalidation, flush —
+        # bumps the generation and kills the entry, so the cache can
+        # never outlive the IOTLB entry it mirrors.  Disabled when a
+        # hit needs per-call work the cache would skip (stale-hit
+        # checking in deferred mode, the invariant monitor).
+        self._fast_enabled = (
+            self.monitor is None and not self.config.check_stale_hits
+        )
+        self._fast_page = -1
+        self._fast_source = ""
+        self._fast_gen = -1
+        self._fast_result: Optional[TranslationResult] = None
         self.obs = current_registry()
+        # Hoisted once: reserve_walk runs per page walk and must not
+        # re-dereference obs.tracer each time.
+        self._tracer = self.obs.tracer if self.obs is not None else None
         if self.obs is not None:
             scope = self.obs.scope("iommu")
             scope.counter("translations", lambda: self.stats.translations)
@@ -161,7 +180,21 @@ class Iommu:
         by_source = stats.translations_by_source
         by_source[source] = by_source.get(source, 0) + 1
 
-        frame = self.iotlb.lookup(iova)
+        iotlb = self.iotlb
+        if (
+            self._fast_page == (iova >> 12)
+            and self._fast_gen == iotlb.generation
+            and self._fast_source == source
+        ):
+            # Same page, same IOTLB state: replay the cached hit.  All
+            # counters an IOTLB hit would touch are still bumped, and
+            # re-touching the MRU entry's LRU position is a no-op, so
+            # statistics and cache state match the slow path exactly.
+            stats.iotlb_hits += 1
+            iotlb.hits += 1
+            return self._fast_result  # type: ignore[return-value]
+
+        frame = iotlb.lookup(iova)
         if frame is not None:
             stats.iotlb_hits += 1
             # A present IOTLB entry is used without consulting the page
@@ -176,9 +209,15 @@ class Iommu:
                     TranslateEvent(iova, source, True, stale, frame),
                     owner=id(self.iotlb),
                 )
-            return TranslationResult(
+            result = TranslationResult(
                 frame=frame, iotlb_hit=True, memory_reads=0, stale=stale
             )
+            if self._fast_enabled:
+                self._fast_page = iova >> 12
+                self._fast_source = source
+                self._fast_gen = iotlb.generation
+                self._fast_result = result
+            return result
 
         stats.iotlb_misses += 1
         misses_by_source = stats.iotlb_misses_by_source
@@ -216,11 +255,35 @@ class Iommu:
                 TranslateEvent(iova, source, False, False, walk.frame),
                 owner=id(self.iotlb),
             )
+        if self._fast_enabled:
+            # The insert above made this page the IOTLB's MRU entry:
+            # the *next* translate of it would be a plain hit, so cache
+            # a hit-shaped result (generation snapshot is post-insert).
+            self._fast_page = iova >> 12
+            self._fast_source = source
+            self._fast_gen = iotlb.generation
+            self._fast_result = TranslationResult(
+                frame=walk.frame, iotlb_hit=True, memory_reads=0
+            )
         return TranslationResult(
             frame=walk.frame,
             iotlb_hit=False,
             memory_reads=memory_reads,
         )
+
+    def enable_stale_hit_checks(self) -> None:
+        """Turn on the per-hit stale check (deferred-mode diagnostics).
+
+        Must be used instead of flipping ``config.check_stale_hits``
+        directly: a cached fast-path entry replays hits without
+        consulting the page table, which would hide exactly the stale
+        accesses the check exists to surface, so the fast path is
+        disabled and any armed entry is dropped.
+        """
+        self.config.check_stale_hits = True
+        self._fast_enabled = False
+        self._fast_page = -1
+        self._fast_result = None
 
     # ------------------------------------------------------------------
     # Walker timing
@@ -255,8 +318,8 @@ class Iommu:
         start = max(now, channels[index])
         finish = start + memory_reads * read_ns
         channels[index] = finish
-        if self.obs is not None and self.obs.tracer is not None:
-            self.obs.tracer.complete(
+        if self._tracer is not None:
+            self._tracer.complete(
                 "walk",
                 f"walker{index}",
                 start,

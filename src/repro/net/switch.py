@@ -91,7 +91,7 @@ class SwitchPort:
                 # after packets serialized behind it.
                 self.reordered_packets += 1
                 propagation += extra
-        self.sim.call_after(
+        self.sim.schedule_after(
             propagation, lambda p=packet: self.deliver(p)
         )
         self._drain_next()

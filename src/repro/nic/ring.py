@@ -51,7 +51,7 @@ class RxRing:
                 # then its pages are invisible to arrival processing
                 # (so the ring looks exhausted — a drop mode).
                 self.dropped_doorbells += 1
-                self.sim.call_after(
+                self.sim.schedule_after(
                     delay, lambda d=descriptor: self._post_now(d)
                 )
                 return

@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass
+from typing import Optional
 
 from ..host.config import HostConfig
 from ..host.testbed import Testbed
@@ -80,9 +81,65 @@ def _run_point(point: BenchPoint) -> dict:
     }
 
 
-def run_bench(full: bool = False) -> dict:
-    """Run every benchmark point and return the ``BENCH_sim.json`` doc."""
+def _sweep_specs(full: bool) -> list:
+    """A small mode × flows grid for the pool benchmark."""
+    from ..parallel import PointSpec, derive_seed
+
+    flows = (2, 3) if not full else (2, 5)
+    return [
+        PointSpec(
+            figure="bench-sweep",
+            runner="iperf_flows",
+            mode=mode,
+            x=x,
+            label=f"bench-sweep {mode} flows={x}",
+            seed=derive_seed(1, "bench-sweep", mode, x),
+        )
+        for mode in ("off", "strict", "fns")
+        for x in flows
+    ]
+
+
+def _run_sweep(name: str, jobs: Optional[int], full: bool) -> dict:
+    """Time the whole sweep suite through ``run_points``.
+
+    Emitted with the same per-point schema: ``events`` and ``sim_ns``
+    aggregate over the sweep's testbeds (exact, load-independent);
+    ``flows`` reports the number of sweep points.
+    """
+    from ..experiments.settings import FULL, QUICK
+    from ..parallel import run_points
+
+    scale = FULL if full else QUICK
+    specs = _sweep_specs(full)
+    start = time.perf_counter()  # noqa: REPRO001
+    results = run_points(specs, scale, jobs=jobs)
+    wall_s = time.perf_counter() - start  # noqa: REPRO001
+    events = sum(r.extras["executed_events"] for r in results)
+    sim_ns = len(specs) * (scale.warmup_ns + scale.measure_ns)
+    return {
+        "name": name,
+        "mode": "sweep",
+        "flows": len(specs),
+        "wall_s": wall_s,
+        "sim_ns": sim_ns,
+        "events": events,
+        "events_per_wall_s": events / wall_s if wall_s > 0 else 0.0,
+        "sim_ns_per_wall_s": sim_ns / wall_s if wall_s > 0 else 0.0,
+    }
+
+
+def run_bench(full: bool = False, jobs: Optional[int] = None) -> dict:
+    """Run every benchmark point and return the ``BENCH_sim.json`` doc.
+
+    With ``jobs > 1`` the sweep suite is additionally timed twice —
+    serially and through the ``--jobs`` process pool — so the document
+    records the multi-job wall-clock win alongside the serial points.
+    """
     benchmarks = [_run_point(point) for point in bench_points(full)]
+    if jobs is not None and jobs > 1:
+        benchmarks.append(_run_sweep("sweep_serial", None, full))
+        benchmarks.append(_run_sweep(f"sweep_jobs{jobs}", jobs, full))
     return {
         "schema": SCHEMA,
         "benchmarks": benchmarks,
@@ -134,9 +191,11 @@ def check_schema(doc: object) -> list[str]:
     return problems
 
 
-def write_bench(path: str, full: bool = False) -> dict:
+def write_bench(
+    path: str, full: bool = False, jobs: Optional[int] = None
+) -> dict:
     """Run the benchmarks and write the document to ``path``."""
-    doc = run_bench(full=full)
+    doc = run_bench(full=full, jobs=jobs)
     with open(path, "w") as handle:
         json.dump(doc, handle, indent=2)
         handle.write("\n")

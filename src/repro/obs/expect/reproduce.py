@@ -16,6 +16,7 @@ CI gate as well as a document.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 import subprocess
 from typing import Callable, Optional, Sequence
@@ -119,18 +120,43 @@ def _truncated_phases(metrics: dict) -> list[str]:
     ]
 
 
+def _runner_kwargs(
+    runner: Callable, scale: RunScale, jobs: Optional[int], seed: int
+) -> dict:
+    """Only pass ``jobs``/``seed`` to runners whose signature takes them.
+
+    Injected test runners (and any future figure without a sweep) may
+    accept just ``scale``; probing the signature keeps them working.
+    """
+    kwargs: dict = {"scale": scale}
+    try:
+        parameters = inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # builtins/partials without a sig
+        return kwargs
+    if "jobs" in parameters:
+        kwargs["jobs"] = jobs
+    if "seed" in parameters:
+        kwargs["seed"] = seed
+    return kwargs
+
+
 def run_reproduce(
     figures: Optional[Sequence[str]] = None,
     *,
     scale: RunScale,
     seed: int = 1,
+    jobs: Optional[int] = None,
     report_path: str = "REPORT.md",
     json_path: str = "report.json",
     runners: Optional[dict[str, Callable]] = None,
     specs: Optional[dict[str, FigureSpec]] = None,
     echo: Callable[[str], None] = print,
 ) -> int:
-    """Run figures, evaluate claims, write both reports; 1 on failure."""
+    """Run figures, evaluate claims, write both reports; 1 on failure.
+
+    ``jobs > 1`` fans each figure's sweep points across a process pool
+    (:mod:`repro.parallel`); reports are identical to a serial run.
+    """
     from ..expectations import SPECS
 
     runners = runners if runners is not None else default_runners()
@@ -150,7 +176,9 @@ def run_reproduce(
     for name in names:
         registry = MetricsRegistry()
         with observed(registry):
-            result = runners[name](scale=scale)
+            result = runners[name](
+                **_runner_kwargs(runners[name], scale, jobs, seed)
+            )
         metrics = registry.report()
         evaluation = evaluate_figure(specs[name], result, metrics=metrics)
         echo(result.format())

@@ -23,7 +23,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.engine import Simulator
     from .tracer import SpanTracer
 
-__all__ = ["Metric", "MetricsScope", "Phase", "MetricsRegistry"]
+__all__ = [
+    "Metric",
+    "MetricsScope",
+    "Phase",
+    "RecordedPhase",
+    "MetricsRegistry",
+]
 
 
 class Metric:
@@ -93,6 +99,56 @@ class Phase:
         }
 
 
+class RecordedPhase(Phase):
+    """A phase reconstructed from another registry's ``to_dict()`` payload.
+
+    The parallel executor runs each sweep point in a worker process
+    under a fresh single-phase registry, ships the phase's ``to_dict()``
+    payload back, and adopts it here with the index reassigned to the
+    parent registry's slot — so ``report()`` and ``summary_rows()`` are
+    identical to what a serial run of the same points produces.
+
+    A recorded phase is frozen data: it has no live metrics to read, so
+    ``finalize`` and ``read_all`` serve the captured finals.
+    """
+
+    def __init__(self, index: int, payload: dict) -> None:
+        super().__init__(index, payload["label"])
+        self.final = payload.get("final")
+        self._kinds: dict[str, str] = dict(payload.get("kinds") or {})
+        self.truncated = bool(payload.get("truncated", False))
+        samples = payload.get("samples") or {}
+        self.sample_times = list(samples.get("t_ns") or [])
+        self.series = {
+            name: list(values)
+            for name, values in (samples.get("series") or {}).items()
+        }
+        # Frozen: a stray attach_simulator must open a new phase, never
+        # re-enter this one.
+        self.sim_attached = True
+
+    def read_all(self) -> dict[str, float]:
+        return dict(self.final or {})
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "final": self.final,
+            "kinds": dict(self._kinds),
+            "truncated": self.truncated,
+            "samples": {
+                "t_ns": list(self.sample_times),
+                # Worker payloads arrive already front-padded by the
+                # originating Phase.to_dict(); emit them as stored.
+                "series": {
+                    name: list(values)
+                    for name, values in self.series.items()
+                },
+            },
+        }
+
+
 class MetricsScope:
     """A per-instance namespace within one phase (e.g. ``pcie.rx``)."""
 
@@ -147,6 +203,22 @@ class MetricsRegistry:
         if not self.phases:
             return self.begin_phase()
         return self.phases[-1]
+
+    def adopt_phase(self, payload: dict) -> Phase:
+        """Append a phase recorded in another process.
+
+        ``payload`` is a ``Phase.to_dict()`` document from a worker's
+        registry; its index is reassigned to this registry's next slot.
+        Adopting in sweep order therefore reproduces the exact phase
+        list a serial run would have built.
+        """
+        if self.phases:
+            self.phases[-1].finalize()
+        phase = RecordedPhase(len(self.phases), payload)
+        self.phases.append(phase)
+        if self.tracer is not None:
+            self.tracer.set_process(phase.index, phase.label)
+        return phase
 
     # ------------------------------------------------------------------
     # Registration (called by instrumented constructors)

@@ -1,0 +1,160 @@
+"""The process pool: run sweep points in parallel, assemble serially.
+
+Execution model:
+
+* The parent builds the full :class:`~repro.parallel.spec.PointSpec`
+  list (including any per-point payloads such as fault plans), so every
+  input is fixed before any process runs — scheduling order cannot leak
+  into results.
+* Each worker task runs exactly the same code as a serial point: reset
+  the global hooks (a forked worker inherits the parent's installed
+  registry, which must not capture worker-side metrics), open a fresh
+  single-phase registry when the parent is observing, run the
+  registered point runner, and return ``(value, phase_payload,
+  error)``.
+* The parent consumes futures **in spec order** — not completion
+  order — adopting worker phases into its registry as it goes, so the
+  phase list, indices and ``#N`` scope names are identical to a serial
+  sweep's.
+
+Serial fallbacks (silent, by design — ``--jobs`` is best-effort):
+a single point, an installed tracer (spans cannot be merged across
+processes), a global invariant monitor or fault runtime (both are
+process-local state the sweep's caller expects to interrogate
+afterwards).  Fault *rows* still parallelize: their monitors and plans
+live inside the point runner.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..faults.hooks import current_faults, set_faults
+from ..obs.hooks import current_registry, observed, set_registry
+from ..obs.registry import MetricsRegistry
+from ..verify.hooks import current_monitor, set_monitor
+from ..verify.violation import InvariantViolation
+from .spec import PointSpec, RemotePointError, remote_error_payload
+
+if TYPE_CHECKING:  # imported lazily at runtime (circular with experiments)
+    from ..experiments.settings import RunScale
+
+__all__ = ["run_points", "RemotePointError"]
+
+
+def _runner_for(key: str):
+    # Imported lazily: repro.experiments imports this package for its
+    # sweep executors, so a module-level import would be circular.
+    from ..experiments.points import POINT_RUNNERS
+
+    try:
+        return POINT_RUNNERS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown point runner {key!r}; "
+            f"registered: {sorted(POINT_RUNNERS)}"
+        ) from None
+
+
+def _run_serial(specs: Sequence[PointSpec], scale: RunScale) -> list:
+    """Today's behavior, exactly: label the phase, run the point."""
+    registry = current_registry()
+    values = []
+    for spec in specs:
+        if registry is not None:
+            registry.begin_phase(spec.label)
+        values.append(_runner_for(spec.runner)(spec, scale))
+    return values
+
+
+def _execute_point(
+    spec: PointSpec,
+    scale: RunScale,
+    collect: bool,
+    sample_interval_ns: Optional[float],
+    max_samples: int,
+) -> tuple:
+    """One worker task; returns ``(value, phase_payload, error)``.
+
+    Module-level so it pickles under any multiprocessing start method.
+    """
+    # A forked worker inherits the parent's installed hooks; clear them
+    # so the point sees exactly the environment a serial point would
+    # (its own registry below, no monitor, no fault runtime).
+    set_registry(None)
+    set_monitor(None)
+    set_faults(None)
+    registry: Optional[MetricsRegistry] = None
+    if collect:
+        registry = MetricsRegistry(
+            sample_interval_ns=sample_interval_ns,
+            max_samples_per_phase=max_samples,
+        )
+        registry.begin_phase(spec.label)
+    try:
+        if registry is not None:
+            with observed(registry):
+                value = _runner_for(spec.runner)(spec, scale)
+        else:
+            value = _runner_for(spec.runner)(spec, scale)
+    except InvariantViolation as violation:
+        return (None, None, remote_error_payload(spec.label, violation))
+    payload = None
+    if registry is not None:
+        payload = registry.report()["phases"][0]
+    return (value, payload, None)
+
+
+def run_points(
+    specs: Sequence[PointSpec],
+    scale: RunScale,
+    *,
+    jobs: Optional[int] = None,
+) -> list:
+    """Run every spec and return their values in spec order.
+
+    ``jobs`` of ``None``, 0 or 1 runs serially (the default path);
+    higher values fan the points across that many worker processes.
+    Results — values, metric phases, labels — are identical either
+    way; see the module docstring for the conditions that silently
+    fall back to serial.
+
+    Raises :class:`RemotePointError` if a worker's point tripped an
+    invariant violation; any other worker exception propagates as-is.
+    """
+    specs = list(specs)
+    if jobs is not None and jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    workers = min(jobs or 1, len(specs))
+    registry = current_registry()
+    serial = (
+        workers <= 1
+        or (registry is not None and registry.tracer is not None)
+        or current_monitor() is not None
+        or current_faults() is not None
+    )
+    if serial:
+        return _run_serial(specs, scale)
+
+    collect = registry is not None
+    interval = registry.sample_interval_ns if collect else None
+    max_samples = registry.max_samples_per_phase if collect else 0
+    values = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _execute_point, spec, scale, collect, interval, max_samples
+            )
+            for spec in specs
+        ]
+        # Spec order, not completion order: phase adoption must mirror
+        # the serial phase sequence exactly.
+        for spec, future in zip(specs, futures):
+            value, payload, error = future.result()
+            if error is not None:
+                raise RemotePointError(*error)
+            if collect and payload is not None:
+                registry.adopt_phase(payload)
+            values.append(value)
+    return values

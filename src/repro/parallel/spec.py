@@ -1,0 +1,62 @@
+"""The declarative description of one sweep point.
+
+A :class:`PointSpec` carries everything a worker process needs to run
+one cell of a figure sweep: the registered runner's key (functions
+don't pickle reliably across refactors; a string key into
+:data:`repro.experiments.points.POINT_RUNNERS` does), the cell
+coordinates, the metrics phase label, and the cell's derived seed.
+Specs must stay picklable and cheap — heavyweight inputs (e.g. a fault
+plan) ride in ``payload``, which is built in the parent so every
+process sees byte-identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["PointSpec", "RemotePointError"]
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One sweep cell: coordinates plus execution directions."""
+
+    figure: str  # figure id, e.g. "Fig 2"
+    runner: str  # key into repro.experiments.points.POINT_RUNNERS
+    mode: str  # protection mode ("off", "strict", "fns", ...)
+    x: Any  # the x-axis value (flows, ring size, bytes, ...)
+    label: str  # metrics phase label (must match the serial label)
+    seed: int  # child seed from derive_seed(root, figure, mode, x)
+    payload: Any = None  # extra picklable input (e.g. a FaultPlan)
+
+
+class RemotePointError(RuntimeError):
+    """A worker's point died on an invariant violation.
+
+    :class:`~repro.verify.InvariantViolation` carries live event
+    objects that don't survive pickling usefully, so the worker ships
+    the *formatted* trace and the parent raises this instead —
+    preserving the CLI contract of printing a full event trace.
+    """
+
+    def __init__(
+        self, label: str, kind: str, message: str, trace: str
+    ) -> None:
+        super().__init__(f"{label}: {message}")
+        self.label = label
+        self.kind = kind
+        self._trace = trace
+
+    def format_trace(self) -> str:
+        return self._trace
+
+
+def remote_error_payload(label: str, violation: Any) -> tuple:
+    """The picklable (label, kind, message, trace) tuple for a worker."""
+    kind = getattr(violation, "kind", type(violation).__name__)
+    trace: Optional[str] = None
+    format_trace = getattr(violation, "format_trace", None)
+    if callable(format_trace):
+        trace = format_trace()
+    return (label, kind, str(violation), trace or str(violation))

@@ -91,6 +91,9 @@ class DmaPipeline:
         self.held_dmas = 0  # DMAs delayed by a link flap
         self.replayed_dmas = 0  # DMAs that ate a NACK/replay penalty
         self.obs = current_registry()
+        # Hoisted once: _begin runs per DMA and must not re-dereference
+        # obs.tracer each time.
+        self._tracer = self.obs.tracer if self.obs is not None else None
         if self.obs is not None:
             scope = self.obs.scope(f"pcie.{label}")
             scope.counter("dmas", lambda: self.completed_dmas)
@@ -135,7 +138,7 @@ class DmaPipeline:
                 # is down; the lane stays occupied and the transfer
                 # begins when the link retrains.
                 self.held_dmas += 1
-                self.sim.call_at(
+                self.sim.schedule_at(
                     held_until,
                     lambda s=size_bytes, b=begin, f=finish: self._begin(
                         s, b, f
@@ -156,15 +159,15 @@ class DmaPipeline:
                 self.replayed_dmas += 1
                 completion += penalty
         self.busy_ns += completion - start
-        if self.obs is not None and self.obs.tracer is not None:
-            self.obs.tracer.complete(
+        if self._tracer is not None:
+            self._tracer.complete(
                 "dma",
                 f"pcie.{self.label}",
                 start,
                 completion - start,
                 bytes=size_bytes,
             )
-        self.sim.call_at(
+        self.sim.schedule_at(
             completion, lambda s=size_bytes, f=finish: self._complete(s, f)
         )
 

@@ -65,8 +65,9 @@ class DeferredDriver(ProtectionDriver):
         self._deferred: list[tuple[int, int, int]] = []
         self.flushes = 0
         # Make the IOMMU detect stale-entry use so experiments can
-        # report the safety violations this mode admits.
-        self.iommu.config.check_stale_hits = True
+        # report the safety violations this mode admits (also disables
+        # the translation fast path, which would skip the check).
+        self.iommu.enable_stale_hit_checks()
         self.stale_translations = 0
 
     # ------------------------------------------------------------------

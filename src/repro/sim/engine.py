@@ -1,11 +1,11 @@
 """Discrete-event simulation engine.
 
 The engine is a classic event-calendar simulator: a priority queue of
-``(time, sequence, callback)`` triples and a clock that jumps from event to
-event.  All simulated subsystems in :mod:`repro` — the IOMMU, the NIC DMA
-engine, the DCTCP transport — are driven from a single :class:`Simulator`
-instance so that their interactions (cache contention, queue build-up,
-drops) are causally ordered.
+``(time, sequence, callback, handle)`` entries and a clock that jumps
+from event to event.  All simulated subsystems in :mod:`repro` — the
+IOMMU, the NIC DMA engine, the DCTCP transport — are driven from a
+single :class:`Simulator` instance so that their interactions (cache
+contention, queue build-up, drops) are causally ordered.
 
 Time is measured in **nanoseconds** throughout the library, stored as
 floats.  Nanoseconds are the natural unit for the paper's quantities
@@ -20,6 +20,19 @@ Two programming styles are supported:
 The engine is deterministic: events scheduled for the same timestamp fire
 in scheduling order (FIFO), which makes every experiment in the benchmark
 suite exactly reproducible for a given seed.
+
+Hot-path design.  Heap entries are plain tuples ``(time, seq, callback,
+handle)`` rather than :class:`Event` objects: ``heapq``'s C
+implementation then orders entries with C-level tuple comparison
+(``time`` first, the unique ``seq`` as tie-break — ``callback`` is never
+compared) instead of calling a Python-level ``__lt__`` per sift step,
+which dominated the interpreter profile.  The ``handle`` slot is
+``None`` for the common schedule-and-forget case; only
+:meth:`Simulator.call_at`/:meth:`Simulator.call_after` allocate an
+:class:`Event` handle, for callers that need cancellation or the
+housekeeping marker.  :meth:`Simulator.run` additionally drains bursts
+of same-timestamp events without re-checking the run horizon between
+them.
 """
 
 from __future__ import annotations
@@ -131,7 +144,8 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Heap entries: (time, seq, callback, Event-or-None).
+        self._heap: list[tuple] = []
         self._seq = 0
         self._now = 0.0
         self._running = False
@@ -161,14 +175,18 @@ class Simulator:
         :class:`SimulationError` if ``time`` is in the past.
         ``housekeeping=True`` marks the event as an observer (watchdog
         or sampler tick) that does not count toward :attr:`alive_events`.
+
+        Callers that never cancel the event should prefer
+        :meth:`schedule_at`, which skips the handle allocation.
         """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is {self._now})"
             )
-        event = Event(time, self._seq, callback, housekeeping=housekeeping)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, housekeeping=housekeeping)
+        heapq.heappush(self._heap, (time, seq, callback, event))
         return event
 
     def call_after(
@@ -184,6 +202,31 @@ class Simulator:
             self._now + delay, callback, housekeeping=housekeeping
         )
 
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> None:
+        """Schedule-and-forget fast path: no cancellation handle.
+
+        Identical ordering semantics to :meth:`call_at`, but pushes a
+        bare heap entry without allocating an :class:`Event`.  The hot
+        per-packet/per-DMA schedulers use this; anything that may need
+        to cancel (RTO timers, NAPI poll timers) must use
+        :meth:`call_at`.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is {self._now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, callback, None))
+
+    def schedule_after(
+        self, delay: float, callback: Callable[[], Any]
+    ) -> None:
+        """``delay`` ns from now, without a cancellation handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule_at(self._now + delay, callback)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -193,13 +236,14 @@ class Simulator:
         Returns ``True`` if an event ran, ``False`` if the calendar is
         empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            time, _seq, callback, event = heapq.heappop(heap)
+            if event is not None and event.cancelled:
                 continue
-            self._now = event.time
+            self._now = time
             self.executed_events += 1
-            event.callback()
+            callback()
             return True
         return False
 
@@ -227,18 +271,30 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        pop = heapq.heappop
+        executed = self.executed_events
         try:
-            while self._heap and not self._stopped:
-                event = self._heap[0]
-                if until is not None and event.time > until:
+            while heap and not self._stopped:
+                burst_time = heap[0][0]
+                if until is not None and burst_time > until:
                     break
-                heapq.heappop(self._heap)
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                self.executed_events += 1
-                event.callback()
+                # Drain the whole burst at this timestamp: entries
+                # pushed *during* the burst for the same time get larger
+                # seq values, so the inner loop picks them up in exactly
+                # the order the heap would have.
+                while heap and heap[0][0] == burst_time:  # noqa: REPRO003
+                    entry = pop(heap)
+                    event = entry[3]
+                    if event is not None and event.cancelled:
+                        continue
+                    self._now = burst_time
+                    executed += 1
+                    entry[2]()
+                    if self._stopped:
+                        break
         finally:
+            self.executed_events = executed
             self._running = False
         if until is not None and self._now < until and not self._stopped:
             if strict_until and self.alive_events == 0:
@@ -263,28 +319,29 @@ class Simulator:
         they observe the run and must not make a drained workload look
         alive — nor keep each other ticking forever.
         """
-        return sum(
-            1
-            for event in self._heap
-            if not event.cancelled and not event.housekeeping
-        )
+        count = 0
+        for entry in self._heap:
+            event = entry[3]
+            if event is None:
+                count += 1
+            elif not event.cancelled and not event.housekeeping:
+                count += 1
+        return count
 
     def pending_event_summary(self, limit: int = 16) -> list[str]:
         """The next ``limit`` alive events, formatted for diagnostics."""
         alive = sorted(
-            event
-            for event in self._heap
-            if not event.cancelled and not event.housekeeping
+            (entry[0], entry[1], entry[2])
+            for entry in self._heap
+            if entry[3] is None
+            or (not entry[3].cancelled and not entry[3].housekeeping)
         )
         lines = []
-        for event in alive[:limit]:
-            callback = event.callback
+        for time, seq, callback in alive[:limit]:
             name = getattr(
                 callback, "__qualname__", None
             ) or getattr(callback, "__name__", repr(callback))
-            lines.append(
-                f"t={event.time:.1f}ns seq={event.seq} {name}"
-            )
+            lines.append(f"t={time:.1f}ns seq={seq} {name}")
         overflow = len(alive) - limit
         if overflow > 0:
             lines.append(f"... and {overflow} more")

@@ -155,7 +155,7 @@ class WindowedPipeline:
             self._waiting.popleft()
             self.inflight_bytes += size
             self.inflight_items += 1
-            self.sim.call_after(
+            self.sim.schedule_after(
                 latency, lambda s=size, cb=on_complete: self._complete(s, cb)
             )
 
@@ -198,7 +198,7 @@ class TokenBucketPacer:
         self._next_free = finish
         self.sent_items += 1
         self.sent_bytes += size_bytes
-        self.sim.call_at(finish, on_delivered)
+        self.sim.schedule_at(finish, on_delivered)
         return finish
 
     @property

@@ -267,6 +267,92 @@ class TestDiffDocuments:
         assert any("missing" in n for n in result.notes)
 
 
+def make_exact_bench_doc(wall=1.0, events=100_000, sim_ns=5e6):
+    return {
+        "schema": "repro.bench/1",
+        "benchmarks": [
+            {
+                "name": "iperf_strict",
+                "wall_s": wall,
+                "events": events,
+                "sim_ns": sim_ns,
+            },
+        ],
+        "total_wall_s": wall,
+    }
+
+
+class TestDiffBenchExactWork:
+    """The load-noise fix: exact work counters gate, wall clock advises."""
+
+    def test_wall_breach_on_identical_work_is_note_not_regression(self):
+        result = diff_documents(
+            make_exact_bench_doc(1.0), make_exact_bench_doc(2.0)
+        )
+        # Slowdowns demoted throughout: the work was byte-identical on
+        # every benchmark, so a loaded CI runner cannot fail the gate
+        # on noise — not via a point, not via the total.
+        assert result.ok
+        assert any(
+            "iperf_strict" in n and "machine load" in n
+            for n in result.notes
+        )
+        assert any(
+            n.startswith("total:") and "machine load" in n
+            for n in result.notes
+        )
+
+    def test_total_keeps_gating_when_coverage_differs(self):
+        # A benchmark present only in the baseline means the totals are
+        # not comparable as pure noise (and is itself a regression).
+        old = make_exact_bench_doc(1.0)
+        old["benchmarks"].append({"name": "extra", "wall_s": 0.1})
+        old["total_wall_s"] = 2.0
+        new = make_exact_bench_doc(1.0)
+        new["total_wall_s"] = 4.0
+        result = diff_documents(old, new)
+        assert any("disappeared" in r for r in result.regressions)
+        assert any(r.startswith("total:") for r in result.regressions)
+
+    def test_event_count_change_is_always_a_regression(self):
+        result = diff_documents(
+            make_exact_bench_doc(1.0, events=100_000),
+            make_exact_bench_doc(1.0, events=100_001),
+        )
+        assert any(
+            "events 100000 -> 100001" in r for r in result.regressions
+        )
+
+    def test_sim_ns_change_is_always_a_regression(self):
+        result = diff_documents(
+            make_exact_bench_doc(sim_ns=5e6),
+            make_exact_bench_doc(sim_ns=7e6),
+        )
+        assert any("sim_ns" in r for r in result.regressions)
+
+    def test_wall_breach_with_changed_work_still_gates(self):
+        result = diff_documents(
+            make_exact_bench_doc(1.0, events=100_000),
+            make_exact_bench_doc(2.0, events=90_000),
+        )
+        assert any(
+            "iperf_strict" in r and "2.00x" in r
+            for r in result.regressions
+        )
+
+    def test_legacy_docs_without_counters_keep_strict_wall_gate(self):
+        # make_bench_doc carries only wall_s; behavior must not change.
+        result = diff_documents(make_bench_doc(1.0), make_bench_doc(2.0))
+        assert not result.ok
+
+    def test_counter_missing_on_one_side_keeps_strict_wall_gate(self):
+        old = make_exact_bench_doc(1.0)
+        new = make_exact_bench_doc(2.0)
+        del new["benchmarks"][0]["events"]
+        result = diff_documents(old, new)
+        assert any("iperf_strict" in r for r in result.regressions)
+
+
 class TestDiffCli:
     def write(self, path, doc):
         path.write_text(json.dumps(doc))

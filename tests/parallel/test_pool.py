@@ -1,0 +1,187 @@
+"""``run_points``: ordering, serial fallbacks, error transport, adoption.
+
+These tests register throwaway point runners directly in
+``POINT_RUNNERS``; workers inherit the registration because Linux
+multiprocessing forks (the real runners are importable either way).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.points import POINT_RUNNERS
+from repro.experiments.settings import QUICK
+from repro.faults import FaultPlan, faulted
+from repro.obs import MetricsRegistry, SpanTracer, observed
+from repro.parallel import PointSpec, RemotePointError, run_points
+from repro.verify import InvariantMonitor, monitored
+from repro.verify.events import Event
+from repro.verify.violation import InvariantViolation
+
+
+def _pid_point(spec, scale):
+    return {"label": spec.label, "x": spec.x, "pid": os.getpid()}
+
+
+def _violating_point(spec, scale):
+    event = Event()
+    raise InvariantViolation(
+        "use-after-unmap", f"boom in {spec.label}", event, [event]
+    )
+
+
+def _crashing_point(spec, scale):
+    raise RuntimeError("worker infrastructure failure")
+
+
+@pytest.fixture()
+def scratch_runners():
+    names = []
+
+    def register(name, fn):
+        POINT_RUNNERS[name] = fn
+        names.append(name)
+        return name
+
+    yield register
+    for name in names:
+        POINT_RUNNERS.pop(name, None)
+
+
+def specs_for(runner, count=4):
+    return [
+        PointSpec(
+            figure="T",
+            runner=runner,
+            mode="off",
+            x=x,
+            label=f"T off x={x}",
+            seed=x,
+        )
+        for x in range(count)
+    ]
+
+
+class TestRunPoints:
+    def test_unknown_runner_is_a_clear_error(self):
+        with pytest.raises(KeyError, match="unknown point runner"):
+            run_points(specs_for("no-such-runner", 1), QUICK)
+
+    def test_negative_jobs_rejected(self, scratch_runners):
+        runner = scratch_runners("t-pid", _pid_point)
+        with pytest.raises(ValueError):
+            run_points(specs_for(runner), QUICK, jobs=-1)
+
+    def test_serial_results_in_spec_order(self, scratch_runners):
+        runner = scratch_runners("t-pid", _pid_point)
+        values = run_points(specs_for(runner), QUICK)
+        assert [v["x"] for v in values] == [0, 1, 2, 3]
+        assert all(v["pid"] == os.getpid() for v in values)
+
+    def test_parallel_runs_in_workers_and_keeps_order(
+        self, scratch_runners
+    ):
+        runner = scratch_runners("t-pid", _pid_point)
+        values = run_points(specs_for(runner), QUICK, jobs=2)
+        assert [v["x"] for v in values] == [0, 1, 2, 3]
+        # Work actually moved out of this process.
+        assert all(v["pid"] != os.getpid() for v in values)
+
+    def test_single_point_stays_serial(self, scratch_runners):
+        runner = scratch_runners("t-pid", _pid_point)
+        values = run_points(specs_for(runner, count=1), QUICK, jobs=8)
+        assert values[0]["pid"] == os.getpid()
+
+    def test_monitor_forces_serial(self, scratch_runners):
+        runner = scratch_runners("t-pid", _pid_point)
+        with monitored(InvariantMonitor()):
+            values = run_points(specs_for(runner), QUICK, jobs=2)
+        assert all(v["pid"] == os.getpid() for v in values)
+
+    def test_fault_runtime_forces_serial(self, scratch_runners):
+        runner = scratch_runners("t-pid", _pid_point)
+        with faulted(FaultPlan(seed=1, name="empty", specs=())):
+            values = run_points(specs_for(runner), QUICK, jobs=2)
+        assert all(v["pid"] == os.getpid() for v in values)
+
+    def test_tracer_forces_serial(self, scratch_runners):
+        runner = scratch_runners("t-pid", _pid_point)
+        registry = MetricsRegistry(tracer=SpanTracer())
+        with observed(registry):
+            values = run_points(specs_for(runner), QUICK, jobs=2)
+        assert all(v["pid"] == os.getpid() for v in values)
+        # The serial path still labels one phase per point.
+        assert [p.label for p in registry.phases] == [
+            s.label for s in specs_for(runner)
+        ]
+
+    def test_violation_in_worker_raises_remote_point_error(
+        self, scratch_runners
+    ):
+        runner = scratch_runners("t-boom", _violating_point)
+        with pytest.raises(RemotePointError) as info:
+            run_points(specs_for(runner), QUICK, jobs=2)
+        error = info.value
+        assert error.label.startswith("T off x=")
+        assert error.kind == "use-after-unmap"
+        assert "boom in" in error.format_trace()
+
+    def test_other_worker_exceptions_propagate_as_is(
+        self, scratch_runners
+    ):
+        runner = scratch_runners("t-crash", _crashing_point)
+        with pytest.raises(RuntimeError, match="infrastructure"):
+            run_points(specs_for(runner), QUICK, jobs=2)
+
+    def test_parallel_phases_match_serial_phases(self, scratch_runners):
+        runner = scratch_runners("t-pid", _pid_point)
+        serial = MetricsRegistry()
+        with observed(serial):
+            run_points(specs_for(runner), QUICK)
+        parallel = MetricsRegistry()
+        with observed(parallel):
+            run_points(specs_for(runner), QUICK, jobs=2)
+        assert parallel.report() == serial.report()
+
+
+class TestAdoptPhase:
+    def payload(self):
+        source = MetricsRegistry()
+        source.begin_phase("cell")
+        count = {"n": 0.0}
+        scope = source.scope("nic")
+        scope.counter("arrived", lambda: count["n"])
+        count["n"] = 7.0
+        return source.report()["phases"][0]
+
+    def test_round_trips_to_identical_report_entry(self):
+        payload = self.payload()
+        parent = MetricsRegistry()
+        parent.begin_phase("before")
+        adopted = parent.adopt_phase(payload)
+        entry = parent.report()["phases"][1]
+        assert adopted.index == 1
+        assert entry["label"] == "cell"
+        assert entry["final"] == {"nic.arrived": 7.0}
+        assert entry["kinds"] == {"nic.arrived": "counter"}
+        index_free = {k: v for k, v in entry.items() if k != "index"}
+        payload_free = {k: v for k, v in payload.items() if k != "index"}
+        assert index_free == payload_free
+
+    def test_adopted_phase_is_frozen(self):
+        parent = MetricsRegistry()
+        adopted = parent.adopt_phase(self.payload())
+        assert adopted.sim_attached  # attach_simulator must not reuse it
+        assert adopted.read_all() == {"nic.arrived": 7.0}
+
+    def test_adoption_finalizes_previous_phase(self):
+        parent = MetricsRegistry()
+        parent.begin_phase("before")
+        parent.adopt_phase(self.payload())
+        assert parent.phases[0].final is not None
+
+    def test_summary_rows_cover_adopted_phases(self):
+        parent = MetricsRegistry()
+        parent.adopt_phase(self.payload())
+        _headers, rows = parent.summary_rows()
+        assert rows[0][0] == "cell"

@@ -1,0 +1,74 @@
+"""Per-point seed derivation: pure, stable, collision-averse.
+
+The whole serial/parallel equivalence story rests on these seeds being
+a function of the cell coordinates alone — any dependence on process
+identity, schedule order or interpreter salt would make a worker's
+point diverge from its serial twin.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.parallel import derive_seed
+
+
+class TestDeriveSeed:
+    def test_same_cell_same_seed(self):
+        assert derive_seed(1, "Fig 2", "strict", 20) == derive_seed(
+            1, "Fig 2", "strict", 20
+        )
+
+    def test_every_coordinate_matters(self):
+        base = derive_seed(1, "Fig 2", "strict", 20)
+        assert derive_seed(2, "Fig 2", "strict", 20) != base
+        assert derive_seed(1, "Fig 3", "strict", 20) != base
+        assert derive_seed(1, "Fig 2", "off", 20) != base
+        assert derive_seed(1, "Fig 2", "strict", 40) != base
+
+    def test_repr_distinguishes_value_types(self):
+        # Faults sweeps use string x values; 1 and "1" are distinct cells.
+        assert derive_seed(1, "F", "m", 1) != derive_seed(1, "F", "m", "1")
+
+    def test_grid_has_no_collisions(self):
+        seeds = {
+            derive_seed(seed, figure, mode, x)
+            for seed in (1, 2)
+            for figure in ("Fig 2", "Fig 3", "Fig 9")
+            for mode in ("off", "strict", "fns")
+            for x in (5, 10, 20, 40)
+        }
+        assert len(seeds) == 2 * 3 * 3 * 4
+
+    def test_fits_positive_int64(self):
+        for x in range(64):
+            seed = derive_seed(1, "F", "m", x)
+            assert 0 <= seed < 2**63
+
+    def test_pinned_values_are_platform_stable(self):
+        # Regression pins: the scheme is SHA-256 over a readable key,
+        # never hash(), so these exact constants must hold on every
+        # platform, process and Python version.  A change here breaks
+        # reproducibility of every recorded report/seeded run.
+        assert derive_seed(1, "Fig 2", "strict", 20) == 1356013154314119192
+        assert derive_seed(7, "Fig 9", "fns", 16384) == 1940712612786761990
+        assert (
+            derive_seed(1, "Faults", "fns", "pcie") == 2866524879951999007
+        )
+
+    def test_same_seed_in_a_fresh_process(self):
+        # Cross-process stability, checked for real: a fresh interpreter
+        # (fresh hash salt) must derive the identical seed.
+        expected = derive_seed(7, "Fig 9", "fns", 16384)
+        code = (
+            "from repro.parallel import derive_seed;"
+            "print(derive_seed(7, 'Fig 9', 'fns', 16384))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=dict(os.environ),
+        )
+        assert int(out.stdout.strip()) == expected

@@ -42,3 +42,34 @@ def test_out_file_appended(tmp_path, capsys):
     assert main(["fig12", "--out", str(target)]) == 0
     capsys.readouterr()
     assert "Fig 12" in target.read_text()
+
+
+def test_jobs_flag_runs_figure(capsys):
+    assert main(["fig12", "--jobs", "2"]) == 0
+    assert "Fig 12" in capsys.readouterr().out
+
+
+def test_profile_prints_hotspots(capsys):
+    assert main(["profile", "fig12", "--lines", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 12" in out
+    assert "cumulative" in out  # pstats header for the default sort
+
+
+def test_profile_unknown_figure_errors(capsys):
+    assert main(["profile", "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_profile_dumps_raw_stats(tmp_path, capsys):
+    target = tmp_path / "fig12.pstats"
+    assert main(
+        ["profile", "fig12", "--lines", "3", "--out", str(target)]
+    ) == 0
+    capsys.readouterr()
+    assert target.stat().st_size > 0
+
+
+def test_profile_bad_sort_key_errors(capsys):
+    assert main(["profile", "fig12", "--sort", "nope"]) == 2
+    assert "unknown sort key" in capsys.readouterr().err
