@@ -10,6 +10,7 @@ Usage::
     python -m repro run fig7 --verify    # run with the invariant monitor
     python -m repro fig2 --trace t.json  # also export a Perfetto trace
     python -m repro lint src/            # determinism/safety lint pass
+    python -m repro analyze src/repro    # whole-program CFG/dataflow analysis
     python -m repro faults --seed 2      # fault sweep (safety under faults)
     python -m repro run fig7 --faults plan.json --verify
     python -m repro report fig2          # metrics JSON + summary table
@@ -64,6 +65,7 @@ from .obs import MetricsRegistry, SpanTracer, observed
 from .parallel import RemotePointError
 from .verify import InvariantMonitor, InvariantViolation, monitored
 from .verify.lint import main as lint_main
+from .verify.analyze import main as analyze_main
 
 __all__ = ["main", "FIGURES"]
 
@@ -575,6 +577,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     raw = list(sys.argv[1:]) if argv is None else list(argv)
     if raw and raw[0] == "lint":
         return lint_main(raw[1:])
+    if raw and raw[0] == "analyze":
+        return analyze_main(raw[1:])
     if raw and raw[0] == "report":
         return _run_report(raw[1:])
     if raw and raw[0] == "bench":

@@ -1,0 +1,21 @@
+"""Whole-program static analysis of the DMA protection protocol.
+
+``repro analyze`` builds a project-wide model (symbol table + call
+graph), constructs per-function control-flow graphs, and runs a small
+forward-dataflow framework to prove protocol properties the per-file
+lint heuristics cannot: all-paths unmap→invalidate, statically
+reachable use-after-unmap, sim-callback races, and zero-cost hook
+guard violations.
+"""
+
+from .engine import analyze_paths, analyze_project, main
+from .project import ProjectModel
+from .rules import default_rules
+
+__all__ = [
+    "analyze_paths",
+    "analyze_project",
+    "main",
+    "ProjectModel",
+    "default_rules",
+]

@@ -1,0 +1,75 @@
+"""Checked-in baseline of accepted analyzer findings.
+
+A baseline lets ``repro analyze`` run clean in CI while known,
+reviewed findings stay on record.  Entries are keyed by a
+*fingerprint* — a short hash of ``code | path | stripped source line
+text`` — so pure line drift (code moving up or down a file) does not
+invalidate the baseline, but touching the flagged line itself does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from ..registry import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "split_by_baseline",
+]
+
+DEFAULT_BASELINE = "analyze-baseline.json"
+
+
+def fingerprint(finding: Finding, line_text: str) -> str:
+    payload = f"{finding.code}|{finding.path}|{line_text.strip()}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: str) -> set[str]:
+    """Fingerprints accepted by the baseline file; missing file = none."""
+    file = Path(path)
+    if not file.exists():
+        return set()
+    document = json.loads(file.read_text(encoding="utf-8"))
+    return {
+        entry["fingerprint"]
+        for entry in document.get("entries", [])
+        if "fingerprint" in entry
+    }
+
+
+def write_baseline(
+    path: str, findings: list[tuple[Finding, str]]
+) -> None:
+    """Regenerate the baseline from ``(finding, fingerprint)`` pairs."""
+    entries = [
+        {
+            "fingerprint": print_,
+            "code": finding.code,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding, print_ in findings
+    ]
+    document = {"version": 1, "tool": "repro-analyze", "entries": entries}
+    Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def split_by_baseline(
+    findings: list[tuple[Finding, str]], accepted: set[str]
+) -> tuple[list[tuple[Finding, str]], list[tuple[Finding, str]]]:
+    """(new, baselined) partition of fingerprinted findings."""
+    new: list[tuple[Finding, str]] = []
+    old: list[tuple[Finding, str]] = []
+    for finding, print_ in findings:
+        (old if print_ in accepted else new).append((finding, print_))
+    return new, old

@@ -1,0 +1,83 @@
+"""A small forward-dataflow framework over the per-function CFGs.
+
+Rules subclass :class:`ForwardAnalysis` and provide a transfer function
+(gen/kill per node) plus, optionally, an *edge* transfer that refines
+state along labelled branch edges — how the guard rule learns from the
+true edge of ``if self.obs is not None:``.
+
+Two meet operators cover every rule in the analyzer:
+
+* ``may`` (union) — a fact holds if it holds on *some* path in
+  (pending-unmap facts, taint facts);
+* ``must`` (intersection) — a fact holds only if it holds on *every*
+  path in (guardedness facts).
+
+States are frozensets of hashable facts; the solver is a classic
+worklist iteration to fixpoint.  CFGs are statement-granular and
+functions are small, so convergence is fast (the lattice height is the
+fact count; transfer functions are monotone by construction).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .cfg import CFG, CFGEdge, CFGNode
+
+__all__ = ["ForwardAnalysis", "solve"]
+
+State = frozenset
+
+EMPTY: State = frozenset()
+
+
+class ForwardAnalysis:
+    """Base class: override ``transfer`` (and optionally ``edge``)."""
+
+    #: "may" = union over predecessors, "must" = intersection.
+    meet: str = "may"
+
+    def initial(self) -> State:
+        """State at function entry."""
+        return EMPTY
+
+    def transfer(self, node: CFGNode, state: State) -> State:
+        """State after executing ``node`` with ``state`` on entry."""
+        return state
+
+    def edge(self, edge: CFGEdge, cond: Optional[CFGNode],
+             state: State) -> State:
+        """Refine ``state`` along ``edge`` (cond is the test node)."""
+        return state
+
+
+def solve(cfg: CFG, analysis: ForwardAnalysis) -> dict[int, State]:
+    """Iterate to fixpoint; returns the state *entering* each node.
+
+    Unreached nodes are absent from the result.  For must-analyses the
+    meet over predecessors ignores not-yet-reached predecessors (their
+    state is TOP).
+    """
+    succs = cfg.succ_map()
+    in_states: dict[int, State] = {cfg.entry: analysis.initial()}
+    worklist: deque[int] = deque([cfg.entry])
+    must = analysis.meet == "must"
+    while worklist:
+        node_id = worklist.popleft()
+        node = cfg.nodes[node_id]
+        out = analysis.transfer(node, in_states[node_id])
+        for edge in succs.get(node_id, []):
+            cond = cfg.nodes[edge.cond_id] if edge.cond_id is not None else None
+            pushed = analysis.edge(edge, cond, out)
+            current = in_states.get(edge.dst)
+            if current is None:
+                merged = pushed
+            elif must:
+                merged = current & pushed
+            else:
+                merged = current | pushed
+            if merged != current:
+                in_states[edge.dst] = merged
+                worklist.append(edge.dst)
+    return in_states

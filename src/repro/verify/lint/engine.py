@@ -1,12 +1,24 @@
-"""AST walker and rule engine behind ``python -m repro lint``."""
+"""AST walker and rule engine behind ``python -m repro lint``.
+
+Rule metadata (summaries, ``--explain`` text) lives in the shared
+registry (:mod:`repro.verify.registry`), which this engine shares with
+the whole-program analyzer (:mod:`repro.verify.analyze`).  This module
+implements the fast single-file passes: REPRO001-003 plus the
+class-closure heuristic for REPRO004 (the analyzer carries the
+path-sensitive upgrade of the same code).
+"""
 
 from __future__ import annotations
 
+import argparse
 import ast
+import json
 import sys
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Optional, Sequence
+
+from ..registry import Finding, explain
+from ..sources import is_suppressed, iter_python_files, noqa_lines
 
 __all__ = ["Finding", "lint_source", "lint_paths", "main"]
 
@@ -69,32 +81,6 @@ _INVALIDATE_CALLS = {
     "_invalidate_robust",
 }
 _DRIVER_BASE_HINT = "Driver"
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One lint finding, formatted as ``path:line:col CODE message``."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
-
-
-def _noqa_codes(line: str) -> Optional[set[str]]:
-    """Return the codes silenced on ``line`` (empty set = silence all)."""
-    marker = "# noqa"
-    idx = line.find(marker)
-    if idx < 0:
-        return None
-    rest = line[idx + len(marker):].strip()
-    if rest.startswith(":"):
-        return {code.strip() for code in rest[1:].split(",") if code.strip()}
-    return set()
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -322,24 +308,19 @@ def lint_source(source: str, path: str) -> list[Finding]:
         ]
     visitor = _Visitor(path)
     visitor.visit(tree)
-    lines = source.splitlines()
-    kept = []
-    for finding in visitor.findings:
-        line = lines[finding.line - 1] if finding.line <= len(lines) else ""
-        silenced = _noqa_codes(line)
-        if silenced is not None and (not silenced or finding.code in silenced):
-            continue
-        kept.append(finding)
-    return kept
+    # Token-based suppression: a "# noqa" inside a string literal is
+    # not a comment and silences nothing.
+    suppressions = noqa_lines(source)
+    return [
+        finding
+        for finding in visitor.findings
+        if not is_suppressed(suppressions, finding.line, finding.code)
+    ]
 
 
-def _iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-        elif path.suffix == ".py":
-            yield path
+# Shared with ``repro analyze``: prunes __pycache__, hidden dirs,
+# build/dist output and virtualenvs (see repro.verify.sources).
+_iter_python_files = iter_python_files
 
 
 def lint_paths(paths: Sequence[str]) -> list[Finding]:
@@ -352,12 +333,48 @@ def lint_paths(paths: Sequence[str]) -> list[Finding]:
     return findings
 
 
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Determinism/DMA-safety lint for repro source trees "
+            "(REPRO001-004)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is one document on stdout)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print what a REPROxxx code means and exit",
+    )
+    return parser
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = list(argv) if argv is not None else sys.argv[1:]
-    if not args:
-        args = ["src/repro"]
-    missing = [raw for raw in args if not Path(raw).exists()]
+    args = _build_parser().parse_args(
+        list(argv) if argv is not None else sys.argv[1:]
+    )
+    if args.explain is not None:
+        text = explain(args.explain)
+        if text is None:
+            print(f"unknown rule code {args.explain!r}", file=sys.stderr)
+            return 2
+        print(text)
+        return 0
+    missing = [raw for raw in args.paths if not Path(raw).exists()]
     if missing:
         # A typo'd path must not pass vacuously (CI would go green
         # while linting nothing).
@@ -365,7 +382,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: no such file or directory: {raw}",
                   file=sys.stderr)
         return 2
-    findings = lint_paths(args)
+    findings = lint_paths(args.paths)
+    if args.format == "json":
+        document = {
+            "tool": "repro-lint",
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        print(json.dumps(document, indent=2))
+        return 1 if findings else 0
     for finding in findings:
         print(finding.format())
     if findings:

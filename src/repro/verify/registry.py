@@ -1,0 +1,298 @@
+"""The pluggable rule registry shared by ``repro lint`` and ``repro analyze``.
+
+Both static checkers — the fast per-file AST lint
+(:mod:`repro.verify.lint`) and the whole-program CFG/dataflow analyzer
+(:mod:`repro.verify.analyze`) — report :class:`Finding` objects tagged
+with a ``REPROxxx`` code.  This module is the single source of truth
+for what those codes *mean*: one :class:`RuleInfo` per code, with a
+short summary (shown in SARIF rule metadata) and a longer explanation
+(shown by ``--explain CODE``).
+
+A code may be implemented by more than one engine: ``REPRO004`` has a
+fast class-closure heuristic in the lint and a path-sensitive
+CFG/dataflow implementation in the analyzer.  The registry entry is
+shared; the ``engines`` field records who runs it.
+
+This module is a leaf — it must not import anything else from
+``repro`` so both engines (and the CLI) can import it freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "Finding",
+    "RuleInfo",
+    "register_rule",
+    "rule_info",
+    "all_rules",
+    "explain",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static finding, formatted as ``path:line:col CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (``repro lint/analyze --format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Metadata for one ``REPROxxx`` code."""
+
+    code: str
+    name: str  # short kebab-case identifier (SARIF rule name)
+    summary: str  # one line; SARIF shortDescription
+    explanation: str  # multi-line prose; ``--explain CODE``
+    engines: tuple[str, ...]  # which checkers implement it
+    category: str  # "determinism" | "dma-safety" | "observability" | "spec"
+
+    def explain_text(self) -> str:
+        engines = " + ".join(self.engines)
+        return (
+            f"{self.code} [{self.name}] ({self.category}; checked by: "
+            f"{engines})\n\n{self.summary}\n\n{self.explanation.strip()}\n"
+        )
+
+
+_REGISTRY: dict[str, RuleInfo] = {}
+
+
+def register_rule(info: RuleInfo) -> RuleInfo:
+    """Add ``info`` to the registry; re-registering a code is an error."""
+    if info.code in _REGISTRY:
+        raise ValueError(f"rule {info.code} registered twice")
+    _REGISTRY[info.code] = info
+    return info
+
+
+def rule_info(code: str) -> Optional[RuleInfo]:
+    _ensure_builtin_rules()
+    return _REGISTRY.get(code)
+
+
+def all_rules() -> list[RuleInfo]:
+    """Every registered rule, sorted by code."""
+    _ensure_builtin_rules()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def explain(code: str) -> Optional[str]:
+    """The ``--explain`` text for ``code``, or ``None`` if unknown."""
+    info = rule_info(code)
+    return info.explain_text() if info is not None else None
+
+
+# ---------------------------------------------------------------------------
+# Built-in rule catalogue
+# ---------------------------------------------------------------------------
+# Registered lazily on first lookup so importing this module stays free
+# of side effects for callers that only want the Finding dataclass.
+_BUILTIN_DONE = False
+
+
+def _ensure_builtin_rules() -> None:
+    global _BUILTIN_DONE
+    if _BUILTIN_DONE:
+        return
+    _BUILTIN_DONE = True
+    for info in _BUILTIN_RULES:
+        register_rule(info)
+
+
+_BUILTIN_RULES = [
+    RuleInfo(
+        code="REPRO000",
+        name="syntax-error",
+        summary="The file does not parse; nothing else can be checked.",
+        explanation="""
+A file that fails to parse is reported once with the parser's message
+and skipped by every other rule.  Fix the syntax error and re-run.
+""",
+        engines=("lint", "analyze"),
+        category="determinism",
+    ),
+    RuleInfo(
+        code="REPRO001",
+        name="wall-clock-or-global-rng",
+        summary=(
+            "Wall-clock reads or module-level RNG calls break simulation "
+            "determinism."
+        ),
+        explanation="""
+The simulator's clock is the event calendar; reading the host's clock
+(time.time(), datetime.now(), ...) or drawing from the process-global
+random module makes two runs of the same seed diverge.  Use the
+simulated clock (sim.now) and repro.sim.SeededRng.  random.Random(seed)
+is the sanctioned seam SeededRng wraps and is allowed.
+""",
+        engines=("lint",),
+        category="determinism",
+    ),
+    RuleInfo(
+        code="REPRO002",
+        name="hash-ordered-iteration",
+        summary=(
+            "Iterating a bare set has PYTHONHASHSEED-dependent order."
+        ),
+        explanation="""
+Iteration order over set/frozenset (and set expressions) depends on the
+interpreter's hash seed; feeding it into event scheduling makes runs
+irreproducible across processes.  Wrap the iterable in sorted() or
+iterate a list with a deterministic order.
+""",
+        engines=("lint",),
+        category="determinism",
+    ),
+    RuleInfo(
+        code="REPRO003",
+        name="timestamp-float-equality",
+        summary=(
+            "Float ==/!= on simulated timestamps is brittle; compare "
+            "with a tolerance or integer ticks."
+        ),
+        explanation="""
+Simulated times are floats (nanoseconds); two logically simultaneous
+events can differ in the last ulp after arithmetic.  Equality tests on
+identifiers that look like timestamps (time, deadline, clock, ...) are
+flagged unless the other side is a literal constant.
+""",
+        engines=("lint",),
+        category="determinism",
+    ),
+    RuleInfo(
+        code="REPRO004",
+        name="unmap-without-invalidate",
+        summary=(
+            "A protection driver unmaps an IOVA range on a path that "
+            "never enqueues the matching IOTLB invalidation."
+        ),
+        explanation="""
+The paper's safety property: no DMA may ever hit a stale translation.
+After unmap_range()/unmap_page(), the IOTLB (and, when page-table pages
+were reclaimed, the PTcaches) must be invalidated before the buffer can
+be reused — otherwise the device keeps a live translation to a page the
+kernel thinks is free.
+
+Two implementations share this code:
+
+* the lint's class-closure heuristic — the union of attribute calls
+  across a Driver class must contain an invalidation whenever it
+  contains an unmap (plus a per-while-loop re-arm check);
+* the analyzer's path-sensitive CFG/dataflow rule — every unmap call
+  site must be followed by an invalidation (direct, or via a method
+  that transitively invalidates) on *all* control-flow paths before the
+  function returns or remaps/reuses buffers.  This catches what the
+  closure provably misses: unmap in one branch with the invalidation
+  only in the other, and early returns that skip the invalidation.
+""",
+        engines=("lint", "analyze"),
+        category="dma-safety",
+    ),
+    RuleInfo(
+        code="REPRO101",
+        name="use-after-unmap",
+        summary=(
+            "An IOVA is passed to a DMA/translate sink after the path "
+            "already unmapped it (static twin of the runtime monitor)."
+        ),
+        explanation="""
+IOVA-lifetime taint analysis: the first argument of an
+unmap_range()/unmap_page() call becomes tainted; if the same expression
+later reaches a DMA sink (translate, dma_read, dma_write) on some
+control-flow path without being re-assigned or re-mapped, the code
+statically contains a use-after-unmap — the exact class of bug the
+runtime invariant monitor (repro verify) only catches on executed
+paths.
+""",
+        engines=("analyze",),
+        category="dma-safety",
+    ),
+    RuleInfo(
+        code="REPRO102",
+        name="sim-callback-race",
+        summary=(
+            "Two event callbacks assign the same resource attribute "
+            "with no scheduling happens-before edge between them."
+        ),
+        explanation="""
+The simulator fires same-timestamp events in scheduling (FIFO) order,
+so two independently scheduled callbacks that both *assign* the same
+self.<attr> are order-dependent: whichever was scheduled last wins.
+The rule collects every method a class hands to
+call_at/call_after/schedule_at/schedule_after, the attributes each
+plainly assigns (augmented updates like ``+=`` commute and are
+ignored), and the happens-before edges induced by one callback
+(transitively) scheduling another.  A pair of callbacks with a shared
+assigned attribute and no scheduling path between them in either
+direction is flagged at the class definition.
+
+Soundness trade-off: the rule cannot see dynamic guards that make the
+writes mutually exclusive; accepted pairs belong in the committed
+analyze baseline with a short justification.
+""",
+        engines=("analyze",),
+        category="determinism",
+    ),
+    RuleInfo(
+        code="REPRO103",
+        name="unguarded-hook-work",
+        summary=(
+            "Metrics/monitor/fault-hook work performed outside the "
+            "zero-cost ``if hooks:`` guard."
+        ),
+        explanation="""
+The observability, verification and fault layers are zero-cost when
+disabled *by contract*: objects read current_registry() /
+current_monitor() / current_faults() / injector_for() once, keep the
+result in an attribute (obs, monitor, faults), and guard every use
+with ``if self.obs is not None:`` (or an early return).  A use that is
+not dominated by such a guard either crashes un-instrumented runs
+(AttributeError on None) or silently moves work onto the hot path.
+The rule runs a forward must-analysis over the CFG: a hook variable is
+"known non-None" only when every path into the use passed the guard.
+""",
+        engines=("analyze",),
+        category="observability",
+    ),
+    RuleInfo(
+        code="REPRO104",
+        name="spec-phase-selector-unmatched",
+        summary=(
+            "An expectation spec's phase_contains selector matches no "
+            "phase label the experiments can produce."
+        ),
+        explanation="""
+Expectation specs select metric phases with substring selectors
+(phase_contains=" fns "); phase labels are minted by the experiment
+runners (PointSpec(label=f"{figure_id} {mode} ..."), begin_phase(...)).
+The rule cross-checks every selector token against the live label
+vocabulary: the constant fragments of every label template plus every
+mode-name constant assigned to a ``name`` attribute.  A selector whose
+token appears nowhere (a typo like " fnss ") would make the claim skip
+forever — the spec silently stops checking anything.
+""",
+        engines=("analyze",),
+        category="spec",
+    ),
+]

@@ -1,0 +1,22 @@
+"""Known-bad: two sim callbacks race on the same attribute.
+
+Both callbacks are armed from ``start`` with no happens-before edge
+between them (neither schedules the other), yet both plainly assign
+``self.status`` — the same-timestamp firing order decides which value
+wins.
+"""
+
+
+class WatchdogPair:
+    def __init__(self):
+        self.status = None
+
+    def start(self, sim):
+        sim.call_after(5, self._on_timeout)
+        sim.call_after(5, self._on_complete)
+
+    def _on_timeout(self):
+        self.status = "timeout"
+
+    def _on_complete(self):
+        self.status = "done"

@@ -1,0 +1,23 @@
+"""Known-bad: a while-loop retries the unmap without re-arming.
+
+Each failed attempt leaves its stale translation live until the loop
+finally exits; the single invalidation after the loop only covers the
+last attempt.  The CFG rule tags pending-unmap facts that survive a
+``while`` back edge and flags the re-entry.
+"""
+
+
+class Driver:
+    pass
+
+
+class RetryLoopDriver(Driver):
+    def __init__(self, iommu):
+        self.iommu = iommu
+
+    def retire(self, slot):
+        done = False
+        while not done:
+            done = self.iommu.unmap_range(slot.iova, slot.length)
+        self.iommu.invalidate_range(slot.iova, slot.length)
+        return slot

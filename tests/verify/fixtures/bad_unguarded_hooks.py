@@ -1,0 +1,16 @@
+"""Known-bad: metrics work outside the ``if hooks:`` guard.
+
+The hook getters return ``None`` when observability is off; calling
+through the result unguarded both breaks the zero-cost contract and
+crashes un-instrumented runs.
+"""
+
+
+def run_phase(spec):
+    registry = current_registry()
+    registry.begin_phase(spec.label)
+    return spec.run()
+
+
+def current_registry():
+    return None

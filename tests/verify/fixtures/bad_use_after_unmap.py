@@ -1,0 +1,16 @@
+"""Known-bad: the IOVA handed to unmap flows into a DMA sink.
+
+Statically reachable use-after-unmap: the translate() on the last
+line runs against an address whose mapping a previous statement
+already tore down.
+"""
+
+
+class StaleReader:
+    def issue(self, iommu, slot):
+        iommu.unmap_range(slot.iova, slot.length)
+        self.log(slot.iova)
+        return iommu.translate(slot.iova)
+
+    def log(self, iova):
+        pass

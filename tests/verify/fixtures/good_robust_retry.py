@@ -1,0 +1,25 @@
+"""Known-good: a retry loop that re-arms the invalidation per attempt.
+
+Unlike the bad retry fixture, every iteration pairs its unmap with an
+invalidation before looping, so no pending fact ever crosses the
+``while`` back edge and the confirmed ``break`` path is clean too.
+"""
+
+
+class Driver:
+    pass
+
+
+class RobustRetryDriver(Driver):
+    def __init__(self, iommu):
+        self.iommu = iommu
+
+    def retire(self, slot):
+        attempts = 0
+        while attempts < 3:
+            self.iommu.unmap_range(slot.iova, slot.length)
+            self.iommu.invalidate_range(slot.iova, slot.length)
+            if self.iommu.confirmed(slot.iova):
+                break
+            attempts += 1
+        return slot

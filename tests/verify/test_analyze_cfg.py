@@ -1,0 +1,216 @@
+"""Unit tests for the CFG builder and the forward-dataflow solver."""
+
+import ast
+import textwrap
+
+from repro.verify.analyze.cfg import build_cfg, relevant_exprs
+from repro.verify.analyze.dataflow import ForwardAnalysis, solve
+
+
+def cfg_for(code):
+    tree = ast.parse(textwrap.dedent(code))
+    func = tree.body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return build_cfg(func)
+
+
+class _ReachingCalls(ForwardAnalysis):
+    """Toy may-analysis: set of call names seen on some path so far."""
+
+    meet = "may"
+
+    def transfer(self, node, state):
+        names = set()
+        for expr in relevant_exprs(node):
+            for child in ast.walk(expr):
+                if isinstance(child, ast.Call) and isinstance(
+                    child.func, ast.Name
+                ):
+                    names.add(child.func.id)
+        return state | frozenset(names)
+
+
+class _MustCalls(_ReachingCalls):
+    meet = "must"
+
+
+def exit_state(code, analysis):
+    cfg = cfg_for(code)
+    return solve(cfg, analysis).get(cfg.exit, frozenset())
+
+
+# ---------------------------------------------------------------------------
+# Structure
+# ---------------------------------------------------------------------------
+def test_straight_line_reaches_exit():
+    assert exit_state(
+        """
+        def f():
+            a()
+            b()
+        """,
+        _ReachingCalls(),
+    ) == {"a", "b"}
+
+
+def test_if_else_may_union_must_intersect():
+    code = """
+        def f(x):
+            if x:
+                a()
+            else:
+                b()
+            return x
+    """
+    assert exit_state(code, _ReachingCalls()) == {"a", "b"}
+    assert exit_state(code, _MustCalls()) == frozenset()
+
+
+def test_call_on_both_branches_is_a_must_fact():
+    code = """
+        def f(x):
+            if x:
+                a()
+            else:
+                a()
+            return x
+    """
+    assert exit_state(code, _MustCalls()) == {"a"}
+
+
+def test_early_return_path_bypasses_later_statements():
+    code = """
+        def f(x):
+            a()
+            if x:
+                return None
+            b()
+            return x
+    """
+    # b() runs on only one of the two return paths.
+    assert exit_state(code, _MustCalls()) == {"a"}
+    assert exit_state(code, _ReachingCalls()) == {"a", "b"}
+
+
+def test_while_loop_body_is_optional():
+    code = """
+        def f(n):
+            while n:
+                a()
+            return n
+    """
+    assert exit_state(code, _MustCalls()) == frozenset()
+    assert exit_state(code, _ReachingCalls()) == {"a"}
+
+
+def test_while_loop_has_back_edge():
+    cfg = cfg_for(
+        """
+        def f(n):
+            while n:
+                a()
+        """
+    )
+    loop_heads = [
+        nid
+        for nid, node in cfg.nodes.items()
+        if node.kind == "loop" and isinstance(node.stmt, ast.While)
+    ]
+    assert len(loop_heads) == 1
+    head = loop_heads[0]
+    back_edges = [
+        e for e in cfg.edges if e.dst == head and e.src > head
+    ]
+    assert back_edges, "loop body must feed back into the head"
+
+
+def test_try_body_has_exceptional_edge_to_handler():
+    code = """
+        def f():
+            try:
+                a()
+            except ValueError:
+                b()
+            return None
+    """
+    # a() may be skipped (exception before completion reaches the
+    # handler), so only the may-analysis sees it at exit.
+    assert exit_state(code, _ReachingCalls()) >= {"a", "b"}
+    assert "b" not in exit_state(code, _MustCalls())
+
+
+def test_raise_routes_to_exit_exceptionally():
+    cfg = cfg_for(
+        """
+        def f():
+            raise ValueError("boom")
+        """
+    )
+    exceptional = [
+        e for e in cfg.edges if e.dst == cfg.exit and e.exceptional
+    ]
+    assert exceptional
+
+
+def test_short_circuit_test_is_decomposed():
+    cfg = cfg_for(
+        """
+        def f(a, b):
+            if a and b:
+                c()
+            return None
+        """
+    )
+    tests = [n for n in cfg.nodes.values() if n.kind == "test"]
+    # "a and b" becomes two atomic test nodes.
+    assert len(tests) == 2
+
+
+def test_break_exits_loop():
+    code = """
+        def f(n):
+            while True:
+                a()
+                break
+            return n
+    """
+    # The loop always runs exactly once: a() is a must-fact.
+    assert exit_state(code, _MustCalls()) == {"a"}
+
+
+def test_for_loop_target_visible_to_transfer():
+    cfg = cfg_for(
+        """
+        def f(items):
+            for item in items:
+                a()
+        """
+    )
+    loop = next(
+        n
+        for n in cfg.nodes.values()
+        if n.kind == "loop" and isinstance(n.stmt, ast.For)
+    )
+    exprs = relevant_exprs(loop)
+    dumped = " ".join(ast.dump(e) for e in exprs)
+    assert "item" in dumped and "items" in dumped
+
+
+def test_nested_function_body_is_opaque():
+    cfg = cfg_for(
+        """
+        def f():
+            def inner():
+                a()
+            return inner
+        """
+    )
+    # a() lives in the nested function; no transfer should see it.
+    for node in cfg.nodes.values():
+        for expr in relevant_exprs(node):
+            for child in ast.walk(expr):
+                assert not (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Name)
+                    and child.func.id == "a"
+                )

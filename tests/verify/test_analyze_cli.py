@@ -1,0 +1,187 @@
+"""End-to-end tests for the ``repro analyze`` command line."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.verify.analyze.engine import main as analyze_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = str(FIXTURES / "bad_branchy_driver.py")
+GOOD = str(FIXTURES / "good_robust_retry.py")
+
+
+def run(args, capsys):
+    code = analyze_main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+# ---------------------------------------------------------------------------
+# Exit codes and text output
+# ---------------------------------------------------------------------------
+def test_clean_input_exits_zero(capsys):
+    code, out, _ = run([GOOD, "--no-baseline"], capsys)
+    assert code == 0
+    assert out == ""
+
+
+def test_findings_exit_one_with_text(capsys):
+    code, out, _ = run([BAD, "--no-baseline"], capsys)
+    assert code == 1
+    assert "REPRO004" in out
+    assert "bad_branchy_driver.py" in out
+
+
+def test_missing_path_exits_two(capsys):
+    code, _, err = run(["no/such/tree"], capsys)
+    assert code == 2
+    assert "no such path" in err
+
+
+def test_dispatch_through_repro_cli(capsys):
+    assert repro_main(["analyze", GOOD, "--no-baseline"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# --explain
+# ---------------------------------------------------------------------------
+def test_explain_known_code(capsys):
+    code, out, _ = run(["--explain", "REPRO101"], capsys)
+    assert code == 0
+    assert "REPRO101" in out
+    assert "use-after-unmap" in out
+
+
+def test_explain_unknown_code(capsys):
+    code, _, err = run(["--explain", "REPRO999"], capsys)
+    assert code == 2
+    assert "unknown rule code" in err
+
+
+# ---------------------------------------------------------------------------
+# Structured output
+# ---------------------------------------------------------------------------
+def test_json_output_parses(capsys):
+    code, out, _ = run([BAD, "--no-baseline", "--format", "json"], capsys)
+    assert code == 1
+    document = json.loads(out)
+    assert document["tool"] == "repro-analyze"
+    assert document["count"] == 1
+    finding = document["findings"][0]
+    assert finding["code"] == "REPRO004"
+    assert finding["path"].endswith("bad_branchy_driver.py")
+
+
+def test_sarif_output_shape(capsys):
+    code, out, _ = run([BAD, "--no-baseline", "--format", "sarif"], capsys)
+    assert code == 1
+    document = json.loads(out)
+    assert document["version"] == "2.1.0"
+    run_ = document["runs"][0]
+    assert run_["tool"]["driver"]["name"] == "repro-analyze"
+    rule_ids = {rule["id"] for rule in run_["tool"]["driver"]["rules"]}
+    # Every analyzer rule is described even when it did not fire.
+    assert {"REPRO004", "REPRO101", "REPRO102", "REPRO103",
+            "REPRO104"} <= rule_ids
+    result = run_["results"][0]
+    assert result["ruleId"] == "REPRO004"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith(
+        "bad_branchy_driver.py"
+    )
+    assert location["region"]["startLine"] > 0
+
+
+def test_sarif_clean_run_has_empty_results(capsys):
+    code, out, _ = run([GOOD, "--no-baseline", "--format", "sarif"], capsys)
+    assert code == 0
+    assert json.loads(out)["runs"][0]["results"] == []
+
+
+# ---------------------------------------------------------------------------
+# Baseline workflow
+# ---------------------------------------------------------------------------
+def test_baseline_accepts_then_suppresses(tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    code, out, _ = run([BAD, "--baseline", baseline, "--write-baseline"],
+                       capsys)
+    assert code == 0
+    assert "wrote 1 finding(s)" in out
+    entries = json.loads(Path(baseline).read_text())["entries"]
+    assert entries[0]["code"] == "REPRO004"
+    assert len(entries[0]["fingerprint"]) == 16
+
+    # With the baseline: clean exit, finding suppressed.
+    code, out, err = run([BAD, "--baseline", baseline], capsys)
+    assert code == 0
+    assert out == ""
+    assert "1 baselined finding(s) suppressed" in err
+
+    # Ignoring it brings the finding back.
+    code, out, _ = run([BAD, "--baseline", baseline, "--no-baseline"],
+                       capsys)
+    assert code == 1
+
+
+def test_missing_baseline_file_means_empty(tmp_path, capsys):
+    code, _, _ = run(
+        [BAD, "--baseline", str(tmp_path / "absent.json")], capsys
+    )
+    assert code == 1
+
+
+def test_baseline_survives_line_drift(tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    original = Path(BAD).read_text()
+    drifted = tmp_path / "drifted.py"
+    drifted.write_text(original)
+    code, _, _ = run(
+        [str(drifted), "--baseline", baseline, "--write-baseline"], capsys
+    )
+    assert code == 0
+    # Shift every line down: the flagged line's text is unchanged, so
+    # the fingerprint still matches.
+    fingerprints = {
+        entry["fingerprint"]
+        for entry in json.loads(Path(baseline).read_text())["entries"]
+    }
+    drifted.write_text("# a new leading comment\n" + original)
+    code, out, _ = run([str(drifted), "--baseline", baseline], capsys)
+    assert code == 0, out
+    drifted_prints = set()
+    run([str(drifted), "--baseline", str(tmp_path / "b2.json"),
+         "--write-baseline"], capsys)
+    drifted_prints = {
+        entry["fingerprint"]
+        for entry in json.loads((tmp_path / "b2.json").read_text())[
+            "entries"
+        ]
+    }
+    assert drifted_prints == fingerprints
+
+
+# ---------------------------------------------------------------------------
+# The committed repo baseline contract
+# ---------------------------------------------------------------------------
+def test_committed_baseline_is_empty():
+    document = json.loads(
+        (Path(__file__).parents[2] / "analyze-baseline.json").read_text()
+    )
+    assert document["tool"] == "repro-analyze"
+    assert document["entries"] == []
+
+
+def test_noqa_suppresses_analyzer_finding(tmp_path, capsys):
+    source = Path(BAD).read_text()
+    patched = source.replace(
+        "self.iommu.unmap_range(slot.iova, slot.length)",
+        "self.iommu.unmap_range(slot.iova, slot.length)"
+        "  # noqa: REPRO004",
+    )
+    target = tmp_path / "suppressed.py"
+    target.write_text(patched)
+    code, out, _ = run([str(target), "--no-baseline"], capsys)
+    assert code == 0, out

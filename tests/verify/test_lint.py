@@ -265,3 +265,86 @@ def test_repo_source_tree_is_clean():
 
     src = repro.__file__.rsplit("/", 2)[0]
     assert lint_paths([src + "/repro"]) == []
+
+
+# ---------------------------------------------------------------------------
+# noqa parsing: comments only, never string literals
+# ---------------------------------------------------------------------------
+def test_noqa_inside_string_literal_does_not_suppress():
+    assert codes("""
+        import time
+        def now():
+            return time.time(), "see # noqa: REPRO001 in the docs"
+    """) == ["REPRO001"]
+
+
+def test_noqa_comment_after_string_still_suppresses():
+    assert codes("""
+        import time
+        def now():
+            return time.time(), "# noqa text"  # noqa: REPRO001
+    """) == []
+
+
+# ---------------------------------------------------------------------------
+# File discovery: caches and hidden trees are skipped
+# ---------------------------------------------------------------------------
+def test_iter_python_files_skips_cache_and_hidden(tmp_path):
+    from repro.verify.sources import iter_python_files
+
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "real.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "real.cpython-311.py").write_text(
+        "import time\nt = time.time()\n"
+    )
+    (tmp_path / ".hidden").mkdir()
+    (tmp_path / ".hidden" / "secret.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+
+    found = sorted(str(p) for p in iter_python_files([str(tmp_path)]))
+    assert found == [str(tmp_path / "pkg" / "real.py")]
+
+
+def test_iter_python_files_explicit_file_always_yielded(tmp_path):
+    from repro.verify.sources import iter_python_files
+
+    cached = tmp_path / "__pycache__"
+    cached.mkdir()
+    target = cached / "odd.py"
+    target.write_text("x = 1\n")
+    assert [str(p) for p in iter_python_files([str(target)])] == [
+        str(target)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# --format json
+# ---------------------------------------------------------------------------
+def test_main_json_format(tmp_path, capsys):
+    import json
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    assert main([str(dirty), "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["tool"] == "repro-lint"
+    assert document["count"] == 1
+    assert document["findings"][0]["code"] == "REPRO001"
+    assert document["findings"][0]["line"] == 2
+
+
+def test_main_json_format_clean(tmp_path, capsys):
+    import json
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main([str(clean), "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out)["count"] == 0
+
+
+def test_main_explain(capsys):
+    assert main(["--explain", "REPRO004"]) == 0
+    out = capsys.readouterr().out
+    assert "REPRO004" in out
+    assert main(["--explain", "NOPE"]) == 2
