@@ -12,6 +12,7 @@ Usage::
     python -m repro lint src/            # determinism/safety lint pass
     python -m repro analyze src/repro    # whole-program CFG/dataflow analysis
     python -m repro faults --seed 2      # fault sweep (safety under faults)
+    python -m repro chaos --seeds 50     # random schedules + shrinking
     python -m repro run fig7 --faults plan.json --verify
     python -m repro report fig2          # metrics JSON + summary table
     python -m repro bench                # wall-clock speed -> BENCH_sim.json
@@ -45,6 +46,7 @@ import sys
 from typing import Callable, Optional
 
 from .experiments import (
+    DEFAULT_MTTR_BOUND_NS,
     FULL,
     QUICK,
     fault_sweep,
@@ -354,6 +356,134 @@ def _build_diff_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_chaos_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description=(
+            "Sample N random fault schedules (transient + hard faults) "
+            "and run each under the invariant monitor with device "
+            "recovery enabled.  A schedule fails on any safety "
+            "violation, an unrecovered wedge, or an MTTR above the "
+            "bound; the first failing schedule is delta-debugged to a "
+            "minimal repro plan and written as JSON."
+        ),
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of random schedules to sample (default: 25)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        metavar="N",
+        help="root seed for schedule sampling (default: 1)",
+    )
+    parser.add_argument(
+        "--mode",
+        default="fns",
+        help="protection mode to stress (default: fns)",
+    )
+    parser.add_argument(
+        "--flows",
+        type=int,
+        default=5,
+        metavar="N",
+        help="iperf flows per schedule (default: 5)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-length runs instead of quick",
+    )
+    parser.add_argument(
+        "--mttr-bound-ns",
+        type=float,
+        default=DEFAULT_MTTR_BOUND_NS,
+        metavar="NS",
+        help=(
+            "liveness bar: worst allowed detect->resume recovery time "
+            f"(default: {DEFAULT_MTTR_BOUND_NS:.0f})"
+        ),
+    )
+    parser.add_argument(
+        "--no-recovery",
+        action="store_true",
+        help=(
+            "run without the reset protocol (hard faults then go "
+            "unrecovered; demonstrates shrinking)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="chaos_failure.json",
+        help=(
+            "where to write the shrunken failing plan "
+            "(default: chaos_failure.json)"
+        ),
+    )
+    _add_jobs_argument(parser)
+    return parser
+
+
+def _run_chaos(raw: list[str]) -> int:
+    from .experiments.chaos import replay_fails, run_chaos, shrink_plan
+
+    args = _build_chaos_parser().parse_args(raw)
+    scale = FULL if args.full else QUICK
+    result, failures = run_chaos(
+        seeds=args.seeds,
+        root_seed=args.seed,
+        mode=args.mode,
+        flows=args.flows,
+        scale=scale,
+        jobs=args.jobs,
+        mttr_bound_ns=args.mttr_bound_ns,
+        recovery=not args.no_recovery,
+    )
+    print(result.format())
+    if not failures:
+        print(
+            f"chaos: {args.seeds} schedules passed "
+            "(zero violations, all hard faults recovered in bound)"
+        )
+        return 0
+    first = failures[0]
+    print(
+        f"chaos: {len(failures)}/{args.seeds} schedules failed; "
+        f"shrinking plan {first.index} "
+        f"({len(first.plan.specs)} specs; {', '.join(first.reasons)})",
+        file=sys.stderr,
+    )
+    fails = replay_fails(
+        args.mode,
+        args.flows,
+        not args.no_recovery,
+        scale,
+        args.mttr_bound_ns,
+    )
+    minimal, evaluations = shrink_plan(first.plan, fails)
+    with open(args.out, "w") as handle:
+        handle.write(minimal.to_json() + "\n")
+    print(
+        f"chaos: minimal repro has {len(minimal.specs)} spec(s) "
+        f"after {evaluations} reruns -> {args.out}",
+        file=sys.stderr,
+    )
+    for spec in minimal.specs:
+        print(
+            f"  {spec.component}/{spec.kind} "
+            f"[{spec.start_ns:.0f}, {spec.end_ns:.0f})ns "
+            f"p={spec.probability:g} mag={spec.magnitude:g}",
+            file=sys.stderr,
+        )
+    return 1
+
+
 def _run_reproduce(raw: list[str]) -> int:
     from .obs.expect.reproduce import run_reproduce
 
@@ -585,6 +715,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_bench(raw[1:])
     if raw and raw[0] == "reproduce":
         return _run_reproduce(raw[1:])
+    if raw and raw[0] == "chaos":
+        return _run_chaos(raw[1:])
     if raw and raw[0] == "diff":
         return _run_diff(raw[1:])
     if raw and raw[0] == "profile":

@@ -1,5 +1,12 @@
 """Experiment runners: one per paper figure, plus run-scale presets."""
 
+from .chaos import (
+    DEFAULT_MTTR_BOUND_NS,
+    ChaosFailure,
+    run_chaos,
+    sample_plan,
+    shrink_plan,
+)
 from .faultsweep import fault_sweep, sweep_plans
 from .figures import (
     FigureResult,
@@ -32,6 +39,11 @@ __all__ = [
     "fig12_ablation",
     "fault_sweep",
     "sweep_plans",
+    "run_chaos",
+    "sample_plan",
+    "shrink_plan",
+    "ChaosFailure",
+    "DEFAULT_MTTR_BOUND_NS",
     "RunScale",
     "QUICK",
     "FULL",

@@ -24,8 +24,10 @@ from ..apps.nginx import run_nginx
 from ..apps.redis import run_redis
 from ..apps.spdk import run_spdk
 from ..faults import faulted
+from ..iommu import IommuConfig
 from ..parallel.spec import PointSpec
-from ..verify import InvariantMonitor, monitored
+from ..sim import EarlyQuiescenceError, WatchdogError
+from ..verify import InvariantMonitor, InvariantViolation, monitored
 from .settings import RunScale
 
 __all__ = ["POINT_RUNNERS", "point_runner"]
@@ -35,6 +37,12 @@ POINT_RUNNERS: Dict[str, Callable[[PointSpec, RunScale], object]] = {}
 # Fault rows watchdog their runs: an injected fault that deadlocks the
 # workload must become a pending-event trace, not an infinite loop.
 _FAULT_WATCHDOG_INTERVAL_NS = 2_000_000.0
+
+# Chaos rows recover from hard faults by resetting the device, which
+# drops every in-flight segment and stalls the DCTCP senders until
+# their RTOs fire (~4 ms).  The watchdog must outlast that legitimate
+# quiet period or it would misreport a successful recovery as a hang.
+_CHAOS_WATCHDOG_INTERVAL_NS = 10_000_000.0
 
 
 def point_runner(name: str):
@@ -159,4 +167,54 @@ def _fault_row(spec: PointSpec, scale: RunScale):
         "injected": injected,
         "violations": len(monitor.violations),
         "timeline": timeline,
+    }
+
+
+@point_runner("chaos_row")
+def _chaos_row(spec: PointSpec, scale: RunScale):
+    """One chaos-search schedule: iperf + recovery under random faults.
+
+    ``spec.payload`` is ``(plan, flows, recovery)``.  Unlike the fault
+    sweep, nothing propagates: a violation, watchdog trip or dead
+    workload is the row's *finding* (the chaos bar judges the returned
+    dict), so the row always comes back picklable — with the fault
+    timeline, which must be byte-identical across worker counts.
+    """
+    plan, flows, recovery = spec.payload
+    monitor = InvariantMonitor()
+    outcome = "ok"
+    point = None
+    with monitored(monitor):
+        with faulted(plan) as runtime:
+            try:
+                point = run_iperf(
+                    spec.mode,
+                    flows=flows,
+                    warmup_ns=scale.warmup_ns,
+                    measure_ns=scale.measure_ns,
+                    strict_until=True,
+                    watchdog_interval_ns=_CHAOS_WATCHDOG_INTERVAL_NS,
+                    recovery=recovery,
+                    iommu=IommuConfig(fault_queue=True),
+                )
+            except WatchdogError:
+                outcome = "watchdog"
+            except EarlyQuiescenceError:
+                outcome = "quiesced"
+            except InvariantViolation:
+                outcome = "violation"
+    extras = point.extras if point is not None else {}
+    return {
+        "outcome": outcome,
+        "goodput_gbps": (
+            point.rx_goodput_gbps if point is not None else 0.0
+        ),
+        "injected": runtime.injected_faults,
+        "violations": len(monitor.violations),
+        "timeline": runtime.timeline_text(),
+        "unrecovered_wedges": runtime.unrecovered_wedges(),
+        "recoveries": extras.get("recoveries", 0),
+        "mttr_max_ns": extras.get("mttr_max_ns", 0.0),
+        "rx_dma_aborts": extras.get("rx_dma_aborts", 0),
+        "faults_reported": extras.get("faults_reported", 0),
     }

@@ -21,16 +21,18 @@ from .hooks import current_faults, faulted, injector_for, set_faults
 from .injectors import (
     ComponentInjector,
     InvalidationInjector,
+    IommuInjector,
     NetInjector,
     NicInjector,
     PcieInjector,
 )
-from .plan import KINDS_BY_COMPONENT, FaultPlan, FaultSpec
+from .plan import HARD_KINDS, KINDS_BY_COMPONENT, FaultPlan, FaultSpec
 from .runtime import FaultRecord, FaultRuntime
 
 __all__ = [
     "FaultPlan",
     "FaultSpec",
+    "HARD_KINDS",
     "KINDS_BY_COMPONENT",
     "FaultRecord",
     "FaultRuntime",
@@ -39,6 +41,7 @@ __all__ = [
     "PcieInjector",
     "NicInjector",
     "NetInjector",
+    "IommuInjector",
     "current_faults",
     "set_faults",
     "faulted",

@@ -14,6 +14,7 @@ fault timeline a complete account of everything injected.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Optional
 
 from ..sim.rng import SeededRng
@@ -28,6 +29,7 @@ __all__ = [
     "PcieInjector",
     "NicInjector",
     "NetInjector",
+    "IommuInjector",
     "INJECTOR_TYPES",
 ]
 
@@ -58,6 +60,12 @@ class ComponentInjector:
         self.site = site
         # Window-kind announcements already made: spec index -> True.
         self._announced: dict[int, bool] = {}
+        # Hard-fault latch.  A wedge persists past its spec window until
+        # the component is reset (notify_reset); a cleared wedge stays
+        # cleared so a recovered run cannot deterministically re-wedge
+        # on the very next opportunity inside the same window.
+        self._wedged_kind: Optional[str] = None
+        self._wedge_cleared = False
 
     # -- helpers --------------------------------------------------------
     def _now(self) -> float:
@@ -88,6 +96,31 @@ class ComponentInjector:
             self._announced[key] = True
             self._record(spec.kind, detail)
 
+    # -- hard-fault latch ----------------------------------------------
+    @property
+    def wedged(self) -> bool:
+        """Whether a latched hard fault is currently unrecovered."""
+        return self._wedged_kind is not None
+
+    def _latch_wedge(self, spec: FaultSpec, detail: str) -> None:
+        """Latch a hard fault; recorded once, held until reset."""
+        if self._wedged_kind is None:
+            self._wedged_kind = spec.kind
+            self._record(spec.kind, f"latched {detail}")
+
+    def _wedge_armed(self, kind: str) -> Optional[FaultSpec]:
+        """The spec that may latch ``kind`` now (None once cleared)."""
+        if self._wedge_cleared:
+            return None
+        return self._active(kind)
+
+    def notify_reset(self) -> None:
+        """A device/queue reset cleared any latched wedge on this site."""
+        if self._wedged_kind is not None:
+            self._record(self._wedged_kind, "cleared by reset")
+            self._wedged_kind = None
+            self._wedge_cleared = True
+
 
 class InvalidationInjector(ComponentInjector):
     """Faults on the IOMMU invalidation queue's completion reports."""
@@ -103,7 +136,22 @@ class InvalidationInjector(ComponentInjector):
         one of ``"completed"``, ``"dropped"``, ``"partial"``.  The
         caller applies invalidation effects only over the completed
         prefix ``[iova, iova + completed_length)``.
+
+        A wedged queue ("wedge-invq") drops *every* submit until the
+        driver tears the queue down and rearms it; the wedge latches on
+        the first rolled opportunity inside the window and persists past
+        the window's end.  Only the latch and the reset are recorded —
+        not each dropped submit — to keep timelines compact.
         """
+        if self.wedged:
+            spec = next(s for s in self.specs if s.kind == "wedge-invq")
+            timeout = spec.magnitude or DEFAULT_DELAY_FACTOR * cpu_cost_ns
+            return "dropped", timeout, 0
+        spec = self._wedge_armed("wedge-invq")
+        if spec is not None and self._roll(spec):
+            self._latch_wedge(spec, f"iova={iova:#x} len={length:#x}")
+            timeout = spec.magnitude or DEFAULT_DELAY_FACTOR * cpu_cost_ns
+            return "dropped", timeout, 0
         spec = self._active("drop-completion")
         if spec is not None and self._roll(spec):
             # The completion descriptor never arrives; the driver's
@@ -191,7 +239,18 @@ class NicInjector(ComponentInjector):
     component = "nic"
 
     def stall_until(self) -> Optional[float]:
-        """If the descriptor DMA engine is stalled, when it resumes."""
+        """If the descriptor DMA engine is stalled, when it resumes.
+
+        ``math.inf`` means the device is wedged: it will never resume
+        by itself and needs a function-level reset
+        (:meth:`notify_reset` via ``Nic.reset_device``).
+        """
+        if self.wedged:
+            return math.inf
+        spec = self._wedge_armed("device-wedge")
+        if spec is not None and self._roll(spec):
+            self._latch_wedge(spec, "descriptor fetch dead")
+            return math.inf
         spec = self._active("ring-stall")
         if spec is None:
             return None
@@ -241,9 +300,30 @@ class NetInjector(ComponentInjector):
         return delay
 
 
+class IommuInjector(ComponentInjector):
+    """Spurious translation faults reported by the IOMMU itself."""
+
+    component = "iommu"
+
+    def spurious_fault(self, iova: int, source: str) -> bool:
+        """Whether this (mapped, valid) translation faults anyway.
+
+        Models a fault storm: misprogrammed PRI/ATS state or a flaky
+        root-complex reporting path pushing bogus fault records.  The
+        DMA is aborted exactly like a genuine unmapped access, so the
+        host's fault-queue path absorbs the storm.
+        """
+        spec = self._active("fault-storm")
+        if spec is None or not self._roll(spec):
+            return False
+        self._record("fault-storm", f"iova={iova:#x} src={source}")
+        return True
+
+
 INJECTOR_TYPES: dict[str, type[ComponentInjector]] = {
     "invalidation": InvalidationInjector,
     "pcie": PcieInjector,
     "nic": NicInjector,
     "net": NetInjector,
+    "iommu": IommuInjector,
 }

@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Sequence
 
-__all__ = ["FaultPlan", "FaultSpec", "KINDS_BY_COMPONENT"]
+__all__ = ["FaultPlan", "FaultSpec", "HARD_KINDS", "KINDS_BY_COMPONENT"]
 
 # The injection sites and, per site, the catalog of modeled faults.
 # ``magnitude`` semantics are kind-specific and documented in
@@ -33,6 +33,11 @@ __all__ = ["FaultPlan", "FaultSpec", "KINDS_BY_COMPONENT"]
 #               partial-completion  only a prefix of the range was
 #                                   invalidated (magnitude: completed
 #                                   fraction, default 0.5)
+#               wedge-invq          HARD: the queue stops producing
+#                                   completions and stays wedged past
+#                                   the window until the driver rearms
+#                                   it (magnitude: wait-timeout ns per
+#                                   dropped submit)
 # pcie          link-flap           link down for the whole window;
 #                                   DMA starts are held until it ends
 #               lane-loss           link retrains at reduced width
@@ -46,19 +51,33 @@ __all__ = ["FaultPlan", "FaultSpec", "KINDS_BY_COMPONENT"]
 #                                   descriptor is invisible until the
 #                                   next write (magnitude: redelivery
 #                                   delay ns)
+#               device-wedge        HARD: the device stops fetching
+#                                   descriptors entirely and stays dead
+#                                   until a function-level reset
 # net           loss                packet dropped on the wire
 #               reorder             packet delayed past its successors
 #                                   (magnitude: extra delay ns)
+# iommu         fault-storm         spurious translation faults: a DMA
+#                                   to a *mapped* IOVA is reported to
+#                                   the fault queue and aborted anyway
+#                                   (per-translation probability)
 KINDS_BY_COMPONENT: dict[str, tuple[str, ...]] = {
     "invalidation": (
         "drop-completion",
         "delay-completion",
         "partial-completion",
+        "wedge-invq",
     ),
     "pcie": ("link-flap", "lane-loss", "nack-replay"),
-    "nic": ("ring-stall", "doorbell-drop"),
+    "nic": ("ring-stall", "doorbell-drop", "device-wedge"),
     "net": ("loss", "reorder"),
+    "iommu": ("fault-storm",),
 }
+
+# Kinds that latch: once triggered they persist past their window until
+# an explicit reset/rearm clears them.  The chaos harness treats an
+# unrecovered latched wedge at end-of-run as a liveness failure.
+HARD_KINDS: frozenset[str] = frozenset({"wedge-invq", "device-wedge"})
 
 
 @dataclass(frozen=True)

@@ -54,6 +54,9 @@ class FaultRuntime:
         # under this runtime gets RNG stream faults/<component>/<N>.
         # Construction order is deterministic, so streams are too.
         self._site_counts: dict[str, int] = {}
+        # Every injector built under this runtime, so end-of-run checks
+        # can ask whether any hard fault latched and was never reset.
+        self.injectors: list[ComponentInjector] = []
 
     # ------------------------------------------------------------------
     # Clock
@@ -85,7 +88,17 @@ class FaultRuntime:
         ordinal = self._site_counts.get(component, 0)
         self._site_counts[component] = ordinal + 1
         rng = SeededRng(self.plan.seed, f"faults/{component}/{ordinal}")
-        return INJECTOR_TYPES[component](self, specs, rng, site=ordinal)
+        injector = INJECTOR_TYPES[component](self, specs, rng, site=ordinal)
+        self.injectors.append(injector)
+        return injector
+
+    def unrecovered_wedges(self) -> int:
+        """Sites whose latched hard fault was never cleared by a reset.
+
+        The chaos harness treats a nonzero count at end-of-run as a
+        liveness failure even if the run otherwise completed.
+        """
+        return sum(1 for injector in self.injectors if injector.wedged)
 
     # ------------------------------------------------------------------
     # Timeline

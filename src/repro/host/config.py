@@ -112,6 +112,18 @@ class HostConfig:
     # proportionally wider extent.
     allocator_aging_iovas: Optional[int] = None
     aging_seed: int = 42
+    # Hard-fault recovery (repro.nic.recovery).  Off by default: the
+    # recovery manager adds housekeeping events and only matters when
+    # hard faults (wedge-invq / device-wedge) are being injected.
+    recovery: bool = False
+    # Detector cadence and modeled stage latencies of the reset
+    # protocol (quiesce the DMA engine, function-level reset, re-enable
+    # after rings rebuild).  The documented MTTR bound in DESIGN.md §14
+    # derives from these.
+    recovery_check_interval_ns: float = 500_000.0
+    recovery_quiesce_ns: float = 100_000.0
+    recovery_reset_ns: float = 250_000.0
+    recovery_resume_ns: float = 50_000.0
 
     @property
     def effective_aging_iovas(self) -> int:

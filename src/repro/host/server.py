@@ -30,7 +30,8 @@ from ..iommu.addr import PAGE_SIZE
 from ..mem.physmem import PhysicalMemory
 from ..net.dctcp import DctcpReceiver, DctcpSender
 from ..net.packet import Packet, PacketKind
-from ..nic import Nic
+from ..nic import Nic, RecoveryManager
+from ..nic.descriptor import RxDescriptor
 from ..obs.hooks import current_registry
 from ..pcie import DmaPipeline
 from ..protection import (
@@ -100,6 +101,13 @@ class Host:
         ]
         # DMA bookkeeping: packet_id -> taken (descriptor, slot) pairs.
         self._pending_slots: dict[int, list] = {}
+        # Hard-fault path: packets whose DMA the IOMMU aborted.  The
+        # begin callback flags the packet; the finish callback consumes
+        # the flag and suppresses delivery (Rx) / wire-out (Tx).
+        self._aborted_dmas: set[int] = set()
+        self._aborted_tx: set[int] = set()
+        self.rx_dma_aborts = 0
+        self.tx_dma_aborts = 0
         # Memory-bandwidth utilization estimate for walker contention.
         self._util_window_start = 0.0
         self._util_bytes = 0
@@ -129,11 +137,21 @@ class Host:
             scope.counter(
                 "tx_data_bytes", lambda: self.tx_data_bytes_sent
             )
+            scope.counter("rx_dma_aborts", lambda: self.rx_dma_aborts)
+            scope.counter("tx_dma_aborts", lambda: self.tx_dma_aborts)
             scope.gauge(
                 "mem_utilization", lambda: self._mem_utilization
             )
+        if self.iommu is not None and self.iommu.fault_queue is not None:
+            self.iommu.fault_queue.bind_clock(lambda: self.sim.now)
         self._age_allocator()
         self._fill_rings()
+        # Hard-fault recovery: a housekeeping detector plus the reset
+        # state machine.  Built last so its first counter snapshots see
+        # the filled rings.
+        self.recovery: Optional[RecoveryManager] = None
+        if config.recovery:
+            self.recovery = RecoveryManager(self)
 
     # ------------------------------------------------------------------
     # Construction
@@ -249,6 +267,11 @@ class Host:
         ring = self.nic.rings[core]
         self.nic.stats.arrived_packets += 1
         self.nic.stats.arrived_bytes += packet.size_bytes
+        if self.nic.quiesced:
+            # Function-level reset in progress: the device is off the
+            # bus and arrivals are lost, like a real reset window.
+            self.nic.stats.buffer_drops += 1
+            return
         if ring.free_pages < pages:
             self.nic.stats.ring_drops += 1
             return
@@ -288,7 +311,16 @@ class Host:
             transactions = config.pcie.transactions(in_page)
             mps = config.pcie.max_payload_bytes
             for index in range(transactions):
-                reads = self.driver.translate(slot.iova + index * mps, "rx")
+                reads, aborted = self.driver.translate_for_dma(
+                    slot.iova + index * mps, "rx"
+                )
+                if aborted:
+                    # Hard-fault path: the root complex killed the
+                    # transaction; no data lands, the fault is logged,
+                    # and the DMA completes early with abort latency.
+                    self._aborted_dmas.add(packet.packet_id)
+                    self.rx_dma_aborts += 1
+                    return start + self.iommu.fault_queue.abort_latency_ns
                 if reads:
                     finish = self.iommu.reserve_walk(
                         start, reads, self._mem_utilization
@@ -300,13 +332,16 @@ class Host:
         return max(wire_done, walks_done + config.pcie.l0_ns)
 
     def _rx_dma_finish(self, packet: Packet, taken) -> None:
+        aborted = packet.packet_id in self._aborted_dmas
+        if aborted:
+            self._aborted_dmas.discard(packet.packet_id)
         ring = None
         for descriptor, _slot in taken:
             descriptor.dma_done()
         if taken:
             core = taken[0][0].core
             ring = self.nic.rings[core]
-        if packet.is_data:
+        if packet.is_data and not aborted:
             pages = len(taken)
             self.rx_data_segments += 1
             self.rx_data_bytes += packet.size_bytes
@@ -314,8 +349,42 @@ class Host:
         if ring is not None:
             for descriptor in ring.pop_completed():
                 self._schedule_descriptor_recycle(descriptor)
-        self._deliver_to_core(packet)
+        if not aborted:
+            # An aborted DMA wrote nothing: the packet is lost exactly
+            # like a wire drop, and the transport's loss recovery (dup
+            # ACKs / RTO) takes it from here.
+            self._deliver_to_core(packet)
         self._pump_rx_dma()
+
+    # ------------------------------------------------------------------
+    # Hard-fault recovery surface (driven by RecoveryManager)
+    # ------------------------------------------------------------------
+    def quiesce_datapath(self) -> None:
+        """Stop the DMA engine and drop everything buffered in the NIC.
+
+        Buffered packets' page-slot reservations are released (their
+        descriptors are about to be torn off the rings anyway); DMAs
+        already in flight on the PCIe pipelines complete on their own
+        and are handled by the normal finish callbacks.
+        """
+        self.nic.quiesce()
+        while True:
+            entry = self.nic.input_buffer.dequeue()
+            if entry is None:
+                break
+            buffered, _size = entry
+            self._pending_slots.pop(buffered.packet_id, None)
+
+    def outstanding_descriptors(self) -> list[RxDescriptor]:
+        """Tear every posted descriptor off every ring (device reset)."""
+        descriptors: list[RxDescriptor] = []
+        for ring in self.nic.rings:
+            descriptors.extend(ring.drain())
+        return descriptors
+
+    def rebuild_rings(self) -> None:
+        """Map and post fresh descriptor rings after a reset."""
+        self._fill_rings()
 
     # ------------------------------------------------------------------
     # Descriptor recycling (step 4)
@@ -477,9 +546,13 @@ class Host:
             remaining -= in_page
             mps = config.pcie.max_payload_bytes
             for index in range(config.pcie.transactions(in_page)):
-                reads = self.driver.translate(
+                reads, aborted = self.driver.translate_for_dma(
                     mapping.iova + index * mps, source
                 )
+                if aborted:
+                    self._aborted_tx.add(packet.packet_id)
+                    self.tx_dma_aborts += 1
+                    return start + self.iommu.fault_queue.abort_latency_ns
                 if reads:
                     finish = self.iommu.reserve_walk(
                         start, reads, self._mem_utilization
@@ -491,7 +564,13 @@ class Host:
         return max(wire_done, walks_done + config.pcie.l0_ns)
 
     def _tx_dma_finish(self, packet: Packet, mappings, core: int) -> None:
-        self.wire_out(packet)
+        if packet.packet_id in self._aborted_tx:
+            # The device never read the payload; nothing reaches the
+            # wire, but the mappings still retire through the normal
+            # completion-cleaning path.
+            self._aborted_tx.discard(packet.packet_id)
+        else:
+            self.wire_out(packet)
         self._pending_tx[core].extend(mappings)
         self._maybe_retire_tx(core, force=False)
 

@@ -282,9 +282,25 @@ class Testbed:
             result.extras["partial_completions"] = (
                 queue.partial_completions
             )
+            result.extras["invq_rearms"] = queue.rearms
+            fault_queue = host.iommu.fault_queue
+            if fault_queue is not None:
+                result.extras["faults_reported"] = fault_queue.reported
+                result.extras["faults_overflowed"] = (
+                    fault_queue.overflowed
+                )
+        result.extras["rx_dma_aborts"] = host.rx_dma_aborts
+        result.extras["tx_dma_aborts"] = host.tx_dma_aborts
+        if host.recovery is not None:
+            result.extras["recoveries"] = host.recovery.recoveries
+            result.extras["mttr_max_ns"] = host.recovery.mttr_max_ns
+            result.extras["mttr_last_ns"] = host.recovery.mttr_last_ns
         faults = current_faults()
         if faults is not None:
             result.extras["injected_faults"] = faults.injected_faults
+            result.extras["unrecovered_wedges"] = (
+                faults.unrecovered_wedges()
+            )
         # Engine-level work done so far, for wall-clock benchmarks that
         # aggregate over many testbeds (events are load-independent,
         # unlike the wall clock).

@@ -20,6 +20,7 @@ from .addr import (
     ptcache_key,
     vpn,
 )
+from .faultq import FaultReportingQueue, IommuFaultRecord
 from .invalidation import InvalidationQueue, InvalidationRequest
 from .iommu import DmaFault, Iommu, IommuConfig, TranslationResult
 from .iotlb import Iotlb
@@ -49,6 +50,8 @@ __all__ = [
     "ProbeOutcome",
     "InvalidationQueue",
     "InvalidationRequest",
+    "FaultReportingQueue",
+    "IommuFaultRecord",
     "IommuStats",
     "IommuStatsDelta",
     "IOVA_BITS",

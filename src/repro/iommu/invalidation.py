@@ -121,12 +121,14 @@ class InvalidationQueue:
         self.dropped_completions = 0
         self.partial_completions = 0
         self.delayed_completions = 0
+        self.rearms = 0
         self.obs = current_registry()
         if self.obs is not None:
             scope = self.obs.scope("invq")
             scope.counter("dropped", lambda: self.dropped_completions)
             scope.counter("partial", lambda: self.partial_completions)
             scope.counter("delayed", lambda: self.delayed_completions)
+            scope.counter("rearms", lambda: self.rearms)
             scope.counter("cpu_ns", lambda: self.total_cpu_ns)
 
     # ------------------------------------------------------------------
@@ -287,3 +289,26 @@ class InvalidationQueue:
     def flush_all(self) -> float:
         """Global flush, returning only the CPU cost (always safe)."""
         return self.submit_flush().cost_ns
+
+    # ------------------------------------------------------------------
+    # Queue teardown + re-init (hard-fault recovery)
+    # ------------------------------------------------------------------
+    def rearm(self) -> float:
+        """Tear the queue down and re-initialize it after a wedge.
+
+        VT-d recovery sequence: clear the QIE bit, reset head/tail,
+        re-enable.  This is the only operation that clears a latched
+        ``wedge-invq`` fault — completions start flowing again
+        afterwards.  Returns the CPU cost of the register dance
+        (modeled as one submit-and-wait quantum).
+        """
+        self.rearms += 1
+        if self.faults is not None:
+            self.faults.notify_reset()
+        cost = self.cpu_cost_ns
+        self.total_cpu_ns += cost
+        if self.obs is not None and self.obs.tracer is not None:
+            self.obs.tracer.complete(
+                "rearm", "invq", self.obs.tracer.now(), cost
+            )
+        return cost

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..faults.hooks import injector_for
 from ..mem.latency import DEFAULT_LM_NS, MemoryLatencyModel
 from ..obs.hooks import current_registry
 from ..verify.events import (
@@ -33,6 +34,11 @@ from ..verify.events import (
     UnmapEvent,
 )
 from ..verify.hooks import current_monitor
+from .faultq import (
+    DEFAULT_FAULT_ABORT_LATENCY_NS,
+    DEFAULT_FAULT_QUEUE_CAPACITY,
+    FaultReportingQueue,
+)
 from .invalidation import InvalidationQueue
 from .iotlb import Iotlb
 from .pagetable import IOPageTable
@@ -62,12 +68,16 @@ class TranslationResult:
     page table accesses the (PTcache-shortened) walk performed.
     ``stale`` flags a translation served from a stale IOTLB entry after
     unmap (possible only in deferred mode) — a safety violation.
+    ``aborted`` means the transaction was killed by the hard-fault path
+    (fault queue attached): no data moved, a fault record was logged,
+    and ``frame`` is meaningless.
     """
 
     frame: int
     iotlb_hit: bool
     memory_reads: int
     stale: bool = False
+    aborted: bool = False
 
 
 @dataclass
@@ -96,6 +106,13 @@ class IommuConfig:
     # while letting multi-page (9 K MTU) DMAs overlap their per-page
     # walks, as the fitted lm = 197 ns implies.
     walkers: int = 2
+    # Hard-fault path.  When True, a DMA to an unmapped IOVA is aborted
+    # and logged to a FaultReportingQueue instead of raising DmaFault —
+    # how real hardware behaves.  Off by default: the raise is the
+    # safety tests' violation detector and must stay the default.
+    fault_queue: bool = False
+    fault_queue_capacity: int = DEFAULT_FAULT_QUEUE_CAPACITY
+    fault_abort_latency_ns: float = DEFAULT_FAULT_ABORT_LATENCY_NS
 
 
 class Iommu:
@@ -121,6 +138,20 @@ class Iommu:
             trace=self.config.trace_invalidations,
         )
         self.memory = MemoryLatencyModel(base_read_ns=self.config.lm_ns)
+        # Hard-fault path: PRI-style fault log + spurious-fault injector.
+        # With no queue attached (the default) unmapped DMAs raise.
+        self.fault_queue: Optional[FaultReportingQueue] = None
+        if self.config.fault_queue:
+            self.fault_queue = FaultReportingQueue(
+                capacity=self.config.fault_queue_capacity,
+                abort_latency_ns=self.config.fault_abort_latency_ns,
+            )
+        self.faults = injector_for("iommu")
+        # Set by an aborting translate(), consumed by the driver's
+        # translate_for_dma() wrapper; a flag rather than a field on
+        # every TranslationResult keeps driver translate() signatures
+        # (and their subclass overrides) untouched.
+        self._abort_pending = False
         if self.config.walkers <= 0:
             raise ValueError("need at least one walker")
         self._walker_free = [0.0] * self.config.walkers
@@ -180,6 +211,16 @@ class Iommu:
         by_source = stats.translations_by_source
         by_source[source] = by_source.get(source, 0) + 1
 
+        if (
+            self.faults is not None
+            and self.fault_queue is not None
+            and self.faults.spurious_fault(iova, source)
+        ):
+            # Fault storm: the access is perfectly valid but the
+            # reporting path aborts it anyway.  Rolled per translation,
+            # so this must run before the fast-path replay.
+            return self._abort(iova, source, "storm")
+
         iotlb = self.iotlb
         if (
             self._fast_page == (iova >> 12)
@@ -225,6 +266,8 @@ class Iommu:
 
         walk = self.page_table.walk(iova)
         if walk is None:
+            if self.fault_queue is not None:
+                return self._abort(iova, source, "unmapped")
             stats.faults += 1
             if self.monitor is not None:
                 self.monitor.record(
@@ -270,6 +313,35 @@ class Iommu:
             iotlb_hit=False,
             memory_reads=memory_reads,
         )
+
+    def _abort(
+        self, iova: int, source: str, reason: str
+    ) -> TranslationResult:
+        """Hard-fault path: kill the transaction and log a record."""
+        self.stats.faults += 1
+        if self.monitor is not None:
+            self.monitor.record(
+                DmaFaultEvent(iova, source), owner=id(self.iotlb)
+            )
+        assert self.fault_queue is not None
+        self.fault_queue.report(iova, source, reason)
+        self._abort_pending = True
+        return TranslationResult(
+            frame=0, iotlb_hit=False, memory_reads=0, aborted=True
+        )
+
+    def consume_abort(self) -> bool:
+        """True iff the most recent :meth:`translate` call aborted.
+
+        Drivers' ``translate()`` overrides return only a read count, so
+        the abort outcome travels out-of-band through this one-shot
+        flag; :meth:`~repro.protection.base.ProtectionDriver.
+        translate_for_dma` is the only consumer.
+        """
+        if self._abort_pending:
+            self._abort_pending = False
+            return True
+        return False
 
     def enable_stale_hit_checks(self) -> None:
         """Turn on the per-hit stale check (deferred-mode diagnostics).

@@ -2,11 +2,13 @@
 
 from .descriptor import DEFAULT_DESCRIPTOR_PAGES, PageSlot, RxDescriptor
 from .device import Nic, NicStats
+from .recovery import RecoveryManager
 from .ring import RxRing
 
 __all__ = [
     "Nic",
     "NicStats",
+    "RecoveryManager",
     "RxRing",
     "RxDescriptor",
     "PageSlot",

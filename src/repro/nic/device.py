@@ -11,6 +11,7 @@ DMA'd (the CPU fell behind on descriptor recycling).
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Optional
 
 from ..faults.hooks import injector_for
@@ -79,6 +80,11 @@ class Nic:
         self.on_wake: Optional[Callable[[], None]] = None
         self._wake_event = None
         self.stalled_dequeues = 0
+        # Recovery surface: a quiesced NIC stops dequeuing (and new
+        # arrivals are dropped upstream) while the host tears down and
+        # rebuilds the rings.
+        self.quiesced = False
+        self.resets = 0
         self.obs = current_registry()
         if self.obs is not None:
             scope = self.obs.scope("nic")
@@ -133,8 +139,12 @@ class Nic:
         Returns ``None`` when the buffer is empty — or when a
         fault-injected descriptor-engine stall is in effect, in which
         case a wakeup is scheduled for the stall's end so the pump
-        resumes without polling.
+        resumes without polling.  A quiesced or wedged device dequeues
+        nothing; a wedge (``stall_until() == inf``) never self-wakes —
+        only a reset via the recovery path restarts the pump.
         """
+        if self.quiesced:
+            return None
         if self.faults is not None:
             stalled_until = self.faults.stall_until()
             if stalled_until is not None:
@@ -152,7 +162,9 @@ class Nic:
     def _schedule_wake(self, at_ns: float) -> None:
         if self.sim is None or self._wake_event is not None:
             return
-        if at_ns <= self.sim.now:
+        if math.isinf(at_ns) or at_ns <= self.sim.now:
+            # A wedged device (inf) cannot wake itself; the watchdog or
+            # recovery manager must reset it.
             return
         self._wake_event = self.sim.call_at(at_ns, self._wake)
 
@@ -160,3 +172,27 @@ class Nic:
         self._wake_event = None
         if self.on_wake is not None:
             self.on_wake()
+
+    # ------------------------------------------------------------------
+    # Reset & recovery surface
+    # ------------------------------------------------------------------
+    def quiesce(self) -> None:
+        """Stop the DMA engine while the host tears the rings down."""
+        self.quiesced = True
+
+    def reset_device(self) -> None:
+        """Function-level reset: the only way out of a device wedge.
+
+        Cancels any pending stall wakeup (its ring state is gone) and
+        clears a latched hard fault on the device's injector.
+        """
+        self.resets += 1
+        if self._wake_event is not None:
+            self._wake_event.cancel()
+            self._wake_event = None
+        if self.faults is not None:
+            self.faults.notify_reset()
+
+    def resume(self) -> None:
+        """Re-enable the DMA engine after rings are rebuilt."""
+        self.quiesced = False

@@ -97,3 +97,15 @@ class RxRing:
 
     def head(self) -> Optional[RxDescriptor]:
         return self._descriptors[0] if self._descriptors else None
+
+    def drain(self) -> list[RxDescriptor]:
+        """Remove and return *all* posted descriptors (device reset).
+
+        Unlike :meth:`pop_completed` this takes incomplete descriptors
+        too and does not count completions: the descriptors were torn
+        off the ring by a reset, not retired by the device.  The caller
+        (the recovery path) owns unmapping their outstanding pages.
+        """
+        drained = list(self._descriptors)
+        self._descriptors.clear()
+        return drained

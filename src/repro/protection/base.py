@@ -216,6 +216,69 @@ class ProtectionDriver(ABC):
     def translate(self, iova: int, source: str) -> int:
         """Translate one PCIe transaction; returns page-walk memory reads."""
 
+    def translate_for_dma(self, iova: int, source: str) -> tuple[int, bool]:
+        """Translate and report the hard-fault outcome.
+
+        Returns ``(memory_reads, aborted)``.  ``aborted`` is only ever
+        ``True`` when the IOMMU has a fault queue attached (the
+        hard-fault path); without one an unmapped access raises
+        ``DmaFault`` from :meth:`translate` exactly as before.  The
+        out-of-band ``consume_abort`` flag lets every driver keep its
+        plain ``int``-returning ``translate`` override.
+        """
+        reads = self.translate(iova, source)
+        iommu = getattr(self, "iommu", None)
+        if iommu is not None and iommu.fault_queue is not None:
+            return reads, iommu.consume_abort()
+        return reads, False
+
+    # ------------------------------------------------------------------
+    # Hard-fault recovery
+    # ------------------------------------------------------------------
+    def reset_recover(self, descriptors: list[RxDescriptor]) -> float:
+        """Unwedge the invalidation path and retire torn-down buffers.
+
+        The device-reset protocol's driver half, run while the NIC is
+        quiesced: first re-arm the invalidation queue (teardown +
+        re-init clears a wedged queue — nothing below can confirm an
+        invalidation until this happens), then unmap every outstanding
+        descriptor through the hardened retire path, and finish with a
+        global flush as the re-arm barrier so no stale translation
+        survives into the rebuilt rings.  Returns the total CPU cost.
+
+        Mapping fresh descriptors is deliberately *not* done here — the
+        host rebuilds rings afterwards — so recovery can never race its
+        own cleanup (and analyzer rule REPRO105 holds by construction).
+        """
+        queue = self._recovery_queue()
+        cost = 0.0
+        dropped_before = 0
+        if queue is not None:
+            cost += queue.rearm()
+            dropped_before = queue.dropped_completions
+        for descriptor in descriptors:
+            cost += self.retire_rx_descriptor(
+                descriptor, descriptor.core
+            )
+        if queue is not None:
+            if queue.dropped_completions > dropped_before:
+                # The queue dropped completions *during* the retire
+                # phase — it wedged after the re-arm above (a fault
+                # window can open mid-recovery).  Re-arm again before
+                # resuming: the closing flush keeps safety either way,
+                # but a queue left wedged here would go undetected if
+                # the post-reset RTO stall outlives the run.
+                cost += queue.rearm()
+            cost += queue.flush_all()
+        return cost
+
+    def _recovery_queue(self) -> "InvalidationQueue | None":
+        """The invalidation queue to re-arm, if this driver has one."""
+        iommu = getattr(self, "iommu", None)
+        if iommu is None:
+            return None
+        return iommu.invalidation_queue
+
     def device_can_access(self, iova: int) -> bool:
         """Whether the device could still reach ``iova`` right now.
 

@@ -402,10 +402,14 @@ class Watchdog:
             # another run attempt; otherwise ``arm()`` would be a silent
             # no-op forever after the first error.
             self._armed = False
+            # Summarize the head of the pending calendar inline so the
+            # one-line message already names the stuck callbacks (the
+            # full trace still rides on the exception).
+            upcoming = self.sim.pending_event_summary(3)
             raise WatchdogError(
                 f"no progress for {self.interval_ns:.0f}ns with "
                 f"{self.sim.alive_events} events pending "
-                "(deadlock/livelock)",
+                f"(deadlock/livelock); next: {'; '.join(upcoming)}",
                 self.sim.pending_event_summary(self.trace_limit),
             )
         self._last = current

@@ -14,7 +14,10 @@ Five rules ship with the analyzer:
   used outside their ``is not None`` guard;
 * :class:`SpecPhaseRule` (REPRO104) — ``phase_contains`` selectors in
   expectation specs cross-checked against the live phase-label
-  vocabulary.
+  vocabulary;
+* :class:`ResetRearmRule` (REPRO105) — a driver reset/recovery method
+  must re-arm the invalidation queue on every path before it resumes
+  mapping DMA buffers.
 
 Every rule reports plain :class:`~repro.verify.registry.Finding`
 objects; ``# noqa`` filtering and baseline suppression happen in the
@@ -39,6 +42,7 @@ __all__ = [
     "SimRaceRule",
     "HookGuardRule",
     "SpecPhaseRule",
+    "ResetRearmRule",
     "default_rules",
 ]
 
@@ -76,6 +80,7 @@ def default_rules() -> list[AnalyzerRule]:
         SimRaceRule(),
         HookGuardRule(),
         SpecPhaseRule(),
+        ResetRearmRule(),
     ]
 
 
@@ -858,6 +863,122 @@ def _unguarded_uses(
 
     visit(expr, guarded)
     return out
+
+
+# ---------------------------------------------------------------------------
+# REPRO105: device reset must re-arm the invalidation queue before mapping
+# ---------------------------------------------------------------------------
+# Name markers that make a driver method part of the reset protocol.
+_RESET_MARKERS = ("reset", "recover")
+
+# Calls that (re)introduce live translations: the "resume mapping" side.
+_RESET_MAP_CALLS = {
+    "map_page",
+    "map_range",
+    "map_huge",
+    "make_rx_descriptor",
+    "map_tx_page",
+}
+
+# Calls that re-arm the invalidation path after a wedge: an explicit
+# queue re-arm, a global flush barrier, or the hardened retire helpers
+# that end in one.
+_REARM_CALLS = {
+    "rearm",
+    "flush_all",
+    "submit_flush",
+    "_invalidate_robust",
+    "invalidate_range",
+}
+
+
+class _RearmAnalysis(ForwardAnalysis):
+    meet = "must"
+
+    def __init__(self, rearming: set[str]) -> None:
+        self.rearming = rearming
+
+    def transfer(self, node: CFGNode, state):
+        for call in _calls_in(relevant_exprs(node)):
+            callee = _call_attr(call) or _call_name(call)
+            if callee is not None and callee in self.rearming:
+                return state | {"rearmed"}
+        return state
+
+
+class ResetRearmRule(AnalyzerRule):
+    """REPRO105: reset/recovery must re-arm the queue before mapping."""
+
+    code = "REPRO105"
+
+    def check(self, project: ProjectModel) -> list[Finding]:
+        rearming = set(_REARM_CALLS) | project.transitive_callers_of(
+            set(_REARM_CALLS)
+        )
+        mapping = (
+            set(_RESET_MAP_CALLS)
+            | project.transitive_callers_of(set(_RESET_MAP_CALLS))
+        ) - rearming
+        findings: list[Finding] = []
+        for klass in project.classes:
+            if not project.is_driver_class(klass):
+                continue
+            for method in klass.methods.values():
+                name = method.name.lower()
+                if not any(marker in name for marker in _RESET_MARKERS):
+                    continue
+                findings.extend(
+                    self._check_method(klass, method, rearming, mapping)
+                )
+        return findings
+
+    def _check_method(
+        self,
+        klass: ClassInfo,
+        method: FunctionInfo,
+        rearming: set[str],
+        mapping: set[str],
+    ) -> list[Finding]:
+        cfg = build_cfg(method.node)
+        states = solve(cfg, _RearmAnalysis(rearming))
+        where = f"{klass.name}.{method.name}"
+        findings: list[Finding] = []
+        for node_id, state in states.items():
+            node = cfg.nodes[node_id]
+            calls = _calls_in(relevant_exprs(node))
+            # Within one statement the in-state predates every call, so
+            # order by position: a re-arm textually ahead of the map
+            # call in the same node still satisfies the protocol.
+            rearm_positions = [
+                (call.lineno, call.col_offset)
+                for call in calls
+                if (_call_attr(call) or _call_name(call)) in rearming
+            ]
+            for call in calls:
+                callee = _call_attr(call) or _call_name(call)
+                if callee not in mapping:
+                    continue
+                if "rearmed" in state:
+                    continue
+                if any(
+                    pos < (call.lineno, call.col_offset)
+                    for pos in rearm_positions
+                ):
+                    continue
+                findings.append(
+                    Finding(
+                        klass.module.path,
+                        call.lineno,
+                        call.col_offset,
+                        self.code,
+                        f"driver {where} maps DMA buffers via "
+                        f"{callee}() on a path that never re-armed "
+                        "the invalidation queue; after a wedge the "
+                        "queue must be re-armed (rearm/flush_all or a "
+                        "hardened retire) before mapping resumes",
+                    )
+                )
+        return findings
 
 
 # ---------------------------------------------------------------------------

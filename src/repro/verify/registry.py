@@ -295,4 +295,28 @@ forever — the spec silently stops checking anything.
         engines=("analyze",),
         category="spec",
     ),
+    RuleInfo(
+        code="REPRO105",
+        name="reset-without-rearm",
+        summary=(
+            "A driver reset/recovery method maps DMA buffers on a path "
+            "that never re-armed the invalidation queue."
+        ),
+        explanation="""
+The hard-fault recovery protocol (DESIGN.md §14): a wedged invalidation
+queue has been dropping completion reports, so when a reset/recovery
+method runs, pending unmaps may not have reached the IOTLB yet.
+Re-arming the queue (rearm(), or a hardened retire/flush that ends in
+flush_all()) is what restores the invalidation barrier; mapping fresh
+DMA buffers before that point rebuilds rings while stale translations
+may still be live in the IOTLB — exactly the window the paper's safety
+property forbids.  The rule runs a forward must-analysis over each
+reset*/recover* method of a Driver class: every map-family call
+(map_page/map_range/map_huge/make_rx_descriptor/map_tx_page, or a
+helper that transitively maps) must be preceded by a re-arm on *all*
+control-flow paths.
+""",
+        engines=("analyze",),
+        category="dma-safety",
+    ),
 ]

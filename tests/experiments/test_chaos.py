@@ -1,0 +1,195 @@
+"""Chaos search: plan sampling, the ddmin shrinker, and replay.
+
+The sampler must be a pure function of (root seed, index, scale) — the
+property that makes `--jobs N` chaos timelines match a serial run.
+The shrinker is tested twice: as pure ddmin over fake predicates, and
+end-to-end against a seeded wedge schedule replayed with recovery
+disabled (the demo failure the CLI minimizes).
+"""
+
+from repro.experiments.chaos import (
+    DEFAULT_MTTR_BOUND_NS,
+    replay_fails,
+    run_chaos,
+    sample_plan,
+    shrink_plan,
+)
+from repro.experiments.settings import RunScale
+from repro.faults import FaultPlan, FaultSpec
+from repro.faults.plan import HARD_KINDS, KINDS_BY_COMPONENT
+
+# Small enough to keep the replay tests quick; large enough that a
+# mid-run wedge still has room to latch before the horizon.
+TINY = RunScale(
+    name="tiny",
+    warmup_ns=500_000.0,
+    measure_ns=1_500_000.0,
+    latency_measure_ns=1_500_000.0,
+)
+
+
+# ---------------------------------------------------------------------------
+# Plan sampling
+# ---------------------------------------------------------------------------
+def test_sample_plan_is_a_pure_function():
+    assert sample_plan(3, 2) == sample_plan(3, 2)
+    assert sample_plan(3, 2, TINY) == sample_plan(3, 2, TINY)
+
+
+def test_sample_plans_differ_across_indices_and_seeds():
+    assert sample_plan(1, 0) != sample_plan(1, 1)
+    assert sample_plan(1, 0) != sample_plan(2, 0)
+
+
+def test_sampled_plans_are_valid_schedules():
+    horizon = TINY.warmup_ns + TINY.measure_ns
+    for index in range(25):
+        plan = sample_plan(1, index, TINY)
+        assert 2 <= len(plan.specs) <= 5
+        pairs = [(spec.component, spec.kind) for spec in plan.specs]
+        assert len(pairs) == len(set(pairs))  # distinct sites
+        starts = [spec.start_ns for spec in plan.specs]
+        assert starts == sorted(starts)  # stable presentation order
+        for spec in plan.specs:
+            assert spec.kind in KINDS_BY_COMPONENT[spec.component]
+            assert 0.0 <= spec.start_ns < spec.end_ns <= horizon
+            assert 0.0 < spec.probability <= 1.0
+            if spec.kind == "fault-storm":
+                # Per-translation probabilities compound over ~16
+                # transactions per page; big values collapse the
+                # workload instead of stressing it.
+                assert spec.probability <= 0.002
+            if spec.kind in HARD_KINDS:
+                assert spec.probability == 1.0
+
+
+# ---------------------------------------------------------------------------
+# ddmin over fake predicates (pure shrinker behaviour)
+# ---------------------------------------------------------------------------
+def spec_for(component, kind, start=0.0):
+    return FaultSpec(component, kind, start_ns=start, end_ns=start + 1_000.0)
+
+
+def plan_of(*specs):
+    return FaultPlan(seed=9, name="unit", specs=tuple(specs))
+
+
+def test_shrink_finds_single_culprit():
+    plan = plan_of(
+        spec_for("net", "loss", 0.0),
+        spec_for("pcie", "nack-replay", 100.0),
+        spec_for("invalidation", "wedge-invq", 200.0),
+        spec_for("nic", "doorbell-drop", 300.0),
+        spec_for("net", "reorder", 400.0),
+    )
+
+    def fails(candidate):
+        return any(s.kind == "wedge-invq" for s in candidate.specs)
+
+    minimal, evaluations = shrink_plan(plan, fails)
+    assert [s.kind for s in minimal.specs] == ["wedge-invq"]
+    assert minimal.seed == plan.seed  # untouched streams replay alike
+    assert evaluations >= 2
+
+
+def test_shrink_finds_interacting_pair():
+    plan = plan_of(
+        spec_for("invalidation", "wedge-invq", 0.0),
+        spec_for("net", "loss", 100.0),
+        spec_for("nic", "device-wedge", 200.0),
+        spec_for("net", "reorder", 300.0),
+    )
+
+    def fails(candidate):
+        kinds = {s.kind for s in candidate.specs}
+        return "wedge-invq" in kinds and "device-wedge" in kinds
+
+    minimal, _ = shrink_plan(plan, fails)
+    assert sorted(s.kind for s in minimal.specs) == [
+        "device-wedge",
+        "wedge-invq",
+    ]
+    # 1-minimality: dropping either remaining spec loses the failure.
+    for index in range(len(minimal.specs)):
+        remainder = list(minimal.specs)
+        del remainder[index]
+        assert not fails(plan_of(*remainder))
+
+
+def test_shrink_refuses_non_reproducible_plan():
+    plan = plan_of(
+        spec_for("net", "loss", 0.0),
+        spec_for("net", "reorder", 100.0),
+    )
+    minimal, evaluations = shrink_plan(plan, lambda candidate: False)
+    assert minimal == plan  # never "shrink" to something that passes
+    assert evaluations == 1
+
+
+# ---------------------------------------------------------------------------
+# Replay integration: the seeded no-recovery failure shrinks to 1 spec
+# ---------------------------------------------------------------------------
+def demo_plan():
+    return FaultPlan(
+        seed=13,
+        name="demo",
+        specs=(
+            FaultSpec(
+                "invalidation",
+                "wedge-invq",
+                start_ns=600_000.0,
+                end_ns=1_100_000.0,
+            ),
+            FaultSpec(
+                "net",
+                "loss",
+                start_ns=700_000.0,
+                end_ns=1_500_000.0,
+                probability=0.005,
+            ),
+            FaultSpec(
+                "invalidation",
+                "delay-completion",
+                start_ns=800_000.0,
+                end_ns=1_600_000.0,
+                probability=0.3,
+                magnitude=1_000.0,
+            ),
+        ),
+    )
+
+
+def test_no_recovery_failure_shrinks_to_the_wedge():
+    fails = replay_fails(
+        mode="fns",
+        flows=3,
+        recovery=False,
+        scale=TINY,
+        mttr_bound_ns=DEFAULT_MTTR_BOUND_NS,
+    )
+    plan = demo_plan()
+    assert fails(plan)
+    minimal, evaluations = shrink_plan(plan, fails)
+    assert len(minimal.specs) <= 3
+    assert [s.kind for s in minimal.specs] == ["wedge-invq"]
+    assert evaluations >= 3
+
+
+# ---------------------------------------------------------------------------
+# Worker-count invisibility
+# ---------------------------------------------------------------------------
+def test_chaos_rows_and_timelines_identical_across_jobs():
+    serial, serial_failures = run_chaos(
+        seeds=2, root_seed=1, flows=3, scale=TINY, jobs=1
+    )
+    pooled, pooled_failures = run_chaos(
+        seeds=2, root_seed=1, flows=3, scale=TINY, jobs=2
+    )
+    assert serial.rows == pooled.rows
+    for index in range(2):
+        assert (
+            serial.raw[index]["timeline"] == pooled.raw[index]["timeline"]
+        )
+    assert [f.index for f in serial_failures] == [
+        f.index for f in pooled_failures
+    ]

@@ -1,0 +1,60 @@
+"""DESIGN.md's failure-model table must match the fault catalog.
+
+The table in DESIGN.md §9 documents every (component, kind) pair the
+injectors implement; `KINDS_BY_COMPONENT` is the code's catalog.  A
+kind added to one but not the other means either an undocumented fault
+or documentation for a fault that does not exist — both fail here.
+"""
+
+import re
+from pathlib import Path
+
+from repro.faults.plan import KINDS_BY_COMPONENT
+
+DESIGN = Path(__file__).resolve().parents[2] / "DESIGN.md"
+
+# A table row starting `| `component` `kind` |`.
+_ROW = re.compile(r"^\| `([a-z]+)` `([a-z-]+)` \|")
+
+
+def documented_pairs():
+    """(component, kind) pairs from the §9 failure-model table."""
+    text = DESIGN.read_text(encoding="utf-8")
+    start = text.index("## 9. Failure model")
+    end = text.index("\n## ", start)
+    section = text[start:end]
+    pairs = set()
+    for line in section.splitlines():
+        match = _ROW.match(line)
+        if match is not None:
+            pairs.add((match.group(1), match.group(2)))
+    return pairs
+
+
+def catalog_pairs():
+    return {
+        (component, kind)
+        for component, kinds in KINDS_BY_COMPONENT.items()
+        for kind in kinds
+    }
+
+
+def test_design_table_matches_kind_catalog():
+    documented = documented_pairs()
+    catalog = catalog_pairs()
+    undocumented = catalog - documented
+    phantom = documented - catalog
+    assert not undocumented, (
+        f"fault kinds missing from DESIGN.md's failure-model table: "
+        f"{sorted(undocumented)}"
+    )
+    assert not phantom, (
+        f"DESIGN.md documents fault kinds the catalog does not have: "
+        f"{sorted(phantom)}"
+    )
+
+
+def test_design_table_is_not_empty():
+    # Guard against the regex silently matching nothing: the catalog
+    # has 13 kinds today and only ever grows.
+    assert len(documented_pairs()) >= 13

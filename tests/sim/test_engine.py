@@ -213,6 +213,28 @@ def test_watchdog_raises_on_no_progress():
     assert any("spin" in line for line in excinfo.value.pending_trace)
 
 
+def test_watchdog_message_previews_next_pending_events():
+    sim = Simulator()
+
+    def spin():
+        sim.call_after(1.0, spin)
+
+    sim.call_after(0.0, spin)
+    watchdog = Watchdog(sim, interval_ns=100.0, progress=lambda: 0)
+    watchdog.arm()
+    with pytest.raises(WatchdogError) as excinfo:
+        sim.run(until=10_000.0)
+    message = str(excinfo.value)
+    # The message itself names what the calendar was about to run, so a
+    # bare log line is enough to start debugging a livelock: up to
+    # three "t=<ns> seq=<n> <callback>" entries after "next:".
+    assert "next:" in message
+    preview = message.split("next:", 1)[1]
+    assert "spin" in preview
+    assert "t=" in preview and "seq=" in preview
+    assert preview.count(";") <= 2  # at most three entries
+
+
 def test_watchdog_tolerates_progress():
     sim = Simulator()
     work = []

@@ -1,0 +1,39 @@
+"""Known-bad: reset path resumes mapping without re-arming the queue.
+
+After a wedged invalidation queue the completions for pending unmaps
+were dropped; ``reset_recover`` below reposts fresh descriptors (a
+map-family call) before anything re-arms the queue, so stale
+translations may still be live when DMA resumes.  The branch variant
+re-arms only on the slow path — the urgent path must be flagged too.
+"""
+
+
+class Driver:
+    pass
+
+
+class ResetNoRearmDriver(Driver):
+    def __init__(self, iommu, queue):
+        self.iommu = iommu
+        self.queue = queue
+
+    def reset_recover(self, descriptors):
+        # BUG: mapping resumes while the queue is still wedged.
+        for descriptor in descriptors:
+            self.iommu.map_page(descriptor.iova, descriptor.frame)
+        self.queue.rearm()
+
+
+class BranchyResetDriver(Driver):
+    def __init__(self, iommu, queue):
+        self.iommu = iommu
+        self.queue = queue
+
+    def reset_device(self, descriptors, urgent):
+        if urgent:
+            # BUG: the fast path skips the re-arm entirely.
+            pass
+        else:
+            self.queue.rearm()
+        for descriptor in descriptors:
+            self.iommu.map_page(descriptor.iova, descriptor.frame)

@@ -1,0 +1,29 @@
+"""Known-good: every reset path re-arms the queue before mapping.
+
+``reset_recover`` follows the protocol directly; ``recover_via_helper``
+re-arms through a helper method the rule must resolve transitively.
+"""
+
+
+class Driver:
+    pass
+
+
+class RearmFirstDriver(Driver):
+    def __init__(self, iommu, queue):
+        self.iommu = iommu
+        self.queue = queue
+
+    def reset_recover(self, descriptors):
+        self.queue.rearm()
+        for descriptor in descriptors:
+            self.iommu.map_page(descriptor.iova, descriptor.frame)
+        self.queue.flush_all()
+
+    def _rearm_queue(self):
+        self.queue.rearm()
+
+    def recover_via_helper(self, descriptors):
+        self._rearm_queue()
+        for descriptor in descriptors:
+            self.iommu.map_page(descriptor.iova, descriptor.frame)

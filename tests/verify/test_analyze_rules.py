@@ -388,6 +388,25 @@ spec = PointSpec(phase_contains=" anything ")
 
 
 # ---------------------------------------------------------------------------
+# REPRO105: reset paths must re-arm the invalidation queue first
+# ---------------------------------------------------------------------------
+def test_reset_without_rearm_flagged():
+    findings = analyze_fixture("bad_reset_no_rearm.py")
+    assert codes(findings) == ["REPRO105", "REPRO105"]
+    # Both the map-before-rearm body and the branch that skips the
+    # re-arm entirely, each anchored at its map-family call site.
+    assert [finding.line for finding in findings] == [23, 39]
+    assert "never re-armed" in findings[0].message
+    assert "map_page" in findings[0].message
+
+
+def test_reset_with_rearm_first_is_clean():
+    # Includes a helper-mediated re-arm: the rule must resolve
+    # transitive callers of rearm(), not just direct calls.
+    assert analyze_fixture("good_reset_rearm.py") == []
+
+
+# ---------------------------------------------------------------------------
 # The analyzer's own bar: zero findings on the shipped source tree
 # ---------------------------------------------------------------------------
 def test_repo_source_tree_is_clean():
