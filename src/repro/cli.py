@@ -161,6 +161,17 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
             "under --verify/--faults/--trace, which need one process)"
         ),
     )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "points per worker task under --jobs (default: auto, "
+            "points / (4 * workers)); results are identical for every "
+            "chunk size"
+        ),
+    )
 
 
 def _build_report_parser() -> argparse.ArgumentParser:
@@ -240,6 +251,14 @@ def _build_bench_parser() -> argparse.ArgumentParser:
             "additionally time the sweep suite serially and through an "
             "N-worker pool, recording the multi-job speed-up"
         ),
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        metavar="K",
+        help="points per worker task for the sweep_jobsN row "
+        "(default: auto)",
     )
     return parser
 
@@ -444,6 +463,7 @@ def _run_chaos(raw: list[str]) -> int:
         jobs=args.jobs,
         mttr_bound_ns=args.mttr_bound_ns,
         recovery=not args.no_recovery,
+        chunk=args.chunk,
     )
     print(result.format())
     if not failures:
@@ -498,6 +518,7 @@ def _run_reproduce(raw: list[str]) -> int:
             scale=scale,
             seed=args.seed,
             jobs=args.jobs,
+            chunk=args.chunk,
             report_path=args.out,
             json_path=args.json,
         )
@@ -551,13 +572,16 @@ def _run_figure(
     seed: int = 1,
     plan: Optional[FaultPlan] = None,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
 ) -> int:
     runner, _description = FIGURES[name]
     if name == "faults":
         # The sweep runs every row under its own monitor (safety is
         # the experiment); --verify only changes the summary line.
         try:
-            result = runner(scale=scale, seed=seed, plan=plan, jobs=jobs)
+            result = runner(
+                scale=scale, seed=seed, plan=plan, jobs=jobs, chunk=chunk
+            )
         except (InvariantViolation, RemotePointError) as violation:
             print(f"{name}: INVARIANT VIOLATION", file=sys.stderr)
             print(violation.format_trace(), file=sys.stderr)
@@ -575,13 +599,13 @@ def _run_figure(
         # run_points falls back to serial by itself when a fault plan
         # or tracer is installed; jobs only fans out the clean path.
         with inject:
-            result = runner(scale=scale, seed=seed, jobs=jobs)
+            result = runner(scale=scale, seed=seed, jobs=jobs, chunk=chunk)
         _emit(result.format(), out_path)
         return 0
     monitor = InvariantMonitor()
     try:
         with monitored(monitor), inject:
-            result = runner(scale=scale, seed=seed, jobs=jobs)
+            result = runner(scale=scale, seed=seed, jobs=jobs, chunk=chunk)
     except InvariantViolation as violation:
         print(f"{name}: INVARIANT VIOLATION", file=sys.stderr)
         print(violation.format_trace(), file=sys.stderr)
@@ -613,7 +637,10 @@ def _run_report(raw: list[str]) -> int:
     runner, _description = FIGURES[args.figure]
     try:
         with observed(registry):
-            result = runner(scale=scale, seed=args.seed, jobs=args.jobs)
+            result = runner(
+                scale=scale, seed=args.seed, jobs=args.jobs,
+                chunk=args.chunk,
+            )
     except RemotePointError as error:
         print(f"{error.label}: WORKER FAILURE", file=sys.stderr)
         print(error.format_trace(), file=sys.stderr)
@@ -657,7 +684,9 @@ def _run_bench(raw: list[str]) -> int:
         print(f"{args.check}: schema OK "
               f"({len(doc['benchmarks'])} benchmarks)")
         return 0
-    doc = bench.write_bench(args.out, full=args.full, jobs=args.jobs)
+    doc = bench.write_bench(
+        args.out, full=args.full, jobs=args.jobs, chunk=args.chunk
+    )
     for point in doc["benchmarks"]:
         print(
             f"{point['name']:14s} {point['wall_s']:7.2f}s wall  "
@@ -757,7 +786,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         for name in names:
             status = _run_figure(
                 name, scale, args.verify, args.out, seed=args.seed,
-                plan=plan, jobs=args.jobs,
+                plan=plan, jobs=args.jobs, chunk=args.chunk,
             )
             if status:
                 return status

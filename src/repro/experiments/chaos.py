@@ -180,6 +180,7 @@ def run_chaos(
     flows: int = 5,
     scale: RunScale = QUICK,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     mttr_bound_ns: float = DEFAULT_MTTR_BOUND_NS,
     recovery: bool = True,
 ) -> tuple[FigureResult, list[ChaosFailure]]:
@@ -214,7 +215,7 @@ def run_chaos(
         for index, plan in enumerate(plans)
     ]
     failures: list[ChaosFailure] = []
-    for spec, row in zip(specs, run_points(specs, scale, jobs=jobs)):
+    for spec, row in zip(specs, run_points(specs, scale, jobs=jobs, chunk=chunk)):
         plan = plans[spec.x]
         reasons = failure_reasons(row, mttr_bound_ns)
         result.raw[spec.x] = {

@@ -158,6 +158,7 @@ def fault_sweep(
     flows: int = 5,
     plan: Optional[FaultPlan] = None,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
 ) -> FigureResult:
     """Baseline + per-family fault rows, each under the monitor.
 
@@ -196,7 +197,7 @@ def fault_sweep(
         for label, row_plan in [("none", None)] + plans
     ]
     by_label = dict([("none", None)] + plans)
-    for spec, row in zip(specs, run_points(specs, scale, jobs=jobs)):
+    for spec, row in zip(specs, run_points(specs, scale, jobs=jobs, chunk=chunk)):
         point = row["point"]
         row_plan = by_label[spec.x]
         if row_plan is not None:

@@ -141,13 +141,14 @@ def _sweep_iperf(
     x_values: Sequence[int],
     scale: RunScale,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     seed: int = 1,
 ) -> FigureResult:
     headers = [x_name if h == "x" else h for h in IPERF_HEADERS]
     result = FigureResult(figure_id, title, headers)
     runner = "iperf_flows" if x_name == "flows" else "iperf_ring"
     specs = _grid_specs(figure_id, runner, modes, x_name, x_values, seed)
-    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs, chunk=chunk)):
         result.rows.append(_iperf_row(spec.mode, spec.x, point))
         result.raw[(spec.mode, spec.x)] = point
     return result
@@ -161,12 +162,13 @@ def fig2_flows(
     flows: Sequence[int] = (5, 10, 20, 40),
     scale: RunScale = FULL,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     seed: int = 1,
 ) -> FigureResult:
     """Fig 2: throughput/drops/misses/locality vs number of flows."""
     return _sweep_iperf(
         "Fig 2", "Linux strict vs IOMMU off, varying flows",
-        modes, "flows", flows, scale, jobs=jobs, seed=seed,
+        modes, "flows", flows, scale, jobs=jobs, chunk=chunk, seed=seed,
     )
 
 
@@ -175,12 +177,13 @@ def fig3_ring(
     ring_sizes: Sequence[int] = (256, 512, 1024, 2048),
     scale: RunScale = FULL,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     seed: int = 1,
 ) -> FigureResult:
     """Fig 3: same metrics vs Rx ring buffer size (5 flows)."""
     return _sweep_iperf(
         "Fig 3", "Linux strict vs IOMMU off, varying ring size",
-        modes, "ring", ring_sizes, scale, jobs=jobs, seed=seed,
+        modes, "ring", ring_sizes, scale, jobs=jobs, chunk=chunk, seed=seed,
     )
 
 
@@ -191,6 +194,7 @@ def model_fit(
     scale: RunScale = FULL,
     flows: Sequence[int] = (5, 10, 20, 40),
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     seed: int = 1,
 ) -> FigureResult:
     """Validate §2.2's model T = p/(l0 + M·lm) against the simulator.
@@ -214,7 +218,7 @@ def model_fit(
         for count in flows
     ]
     points: dict[int, ModelPoint] = {}
-    for spec, measured in zip(specs, run_points(specs, scale, jobs=jobs)):
+    for spec, measured in zip(specs, run_points(specs, scale, jobs=jobs, chunk=chunk)):
         points[spec.x] = ModelPoint(
             packet_bytes=4096,
             memory_reads=measured.memory_reads_per_page,
@@ -268,12 +272,13 @@ def fig7_fns_flows(
     flows: Sequence[int] = (5, 10, 20, 40),
     scale: RunScale = FULL,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     seed: int = 1,
 ) -> FigureResult:
     """Fig 7: F&S vs Linux strict vs IOMMU off, varying flows."""
     return _sweep_iperf(
         "Fig 7", "F&S eliminates memory-protection overheads (flows)",
-        modes, "flows", flows, scale, jobs=jobs, seed=seed,
+        modes, "flows", flows, scale, jobs=jobs, chunk=chunk, seed=seed,
     )
 
 
@@ -282,12 +287,13 @@ def fig8_fns_ring(
     ring_sizes: Sequence[int] = (256, 512, 1024, 2048),
     scale: RunScale = FULL,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     seed: int = 1,
 ) -> FigureResult:
     """Fig 8: F&S locality holds as the IO working set grows."""
     return _sweep_iperf(
         "Fig 8", "F&S under increasing ring sizes",
-        modes, "ring", ring_sizes, scale, jobs=jobs, seed=seed,
+        modes, "ring", ring_sizes, scale, jobs=jobs, chunk=chunk, seed=seed,
     )
 
 
@@ -299,6 +305,7 @@ def fig9_rpc_latency(
     rpc_sizes: Sequence[int] = (128, 1024, 4096, 32768),
     scale: RunScale = FULL,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     seed: int = 1,
 ) -> FigureResult:
     """Fig 9: netperf RPC percentiles colocated with iperf."""
@@ -308,7 +315,7 @@ def fig9_rpc_latency(
         ["mode", "rpc_bytes", "n", "p50", "p90", "p99", "p99.9", "p99.99", "bg_gbps"],
     )
     specs = _grid_specs("Fig 9", "netperf_rpc", modes, "rpc", rpc_sizes, seed)
-    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs, chunk=chunk)):
         us = {k: v / 1000 for k, v in point.percentiles_ns.items()}
         result.rows.append(
             [
@@ -335,6 +342,7 @@ def fig10_rxtx(
     core_counts: Sequence[int] = (1, 2, 4),
     scale: RunScale = FULL,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     seed: int = 1,
 ) -> FigureResult:
     """Fig 10: Rx/Tx interference on the Ice Lake testbed."""
@@ -346,7 +354,7 @@ def fig10_rxtx(
     specs = _grid_specs(
         "Fig 10", "bidir_iperf", modes, "cores", core_counts, seed
     )
-    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs, chunk=chunk)):
         result.rows.append(
             [
                 spec.mode,
@@ -368,6 +376,7 @@ def fig11_redis(
     value_sizes: Sequence[int] = (4096, 8192, 32768, 131072),
     scale: RunScale = FULL,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     seed: int = 1,
 ) -> FigureResult:
     """Fig 11a: Redis 100% SET throughput by value size."""
@@ -377,7 +386,7 @@ def fig11_redis(
         ["mode", "value_bytes", "gbps", "kreq/s", "iotlb/pg"],
     )
     specs = _grid_specs("Fig 11a", "redis", modes, "value", value_sizes, seed)
-    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs, chunk=chunk)):
         result.rows.append(
             [
                 spec.mode,
@@ -396,6 +405,7 @@ def fig11_nginx(
     page_sizes: Sequence[int] = (131072, 524288, 2097152),
     scale: RunScale = FULL,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     seed: int = 1,
 ) -> FigureResult:
     """Fig 11b: Nginx page-serving throughput by page size."""
@@ -405,7 +415,7 @@ def fig11_nginx(
         ["mode", "page_bytes", "gbps", "req/s"],
     )
     specs = _grid_specs("Fig 11b", "nginx", modes, "page", page_sizes, seed)
-    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs, chunk=chunk)):
         result.rows.append(
             [
                 spec.mode,
@@ -423,6 +433,7 @@ def fig11_spdk(
     block_sizes: Sequence[int] = (32768, 65536, 262144),
     scale: RunScale = FULL,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     seed: int = 1,
 ) -> FigureResult:
     """Fig 11c: SPDK remote read throughput by block size."""
@@ -432,7 +443,7 @@ def fig11_spdk(
         ["mode", "block_bytes", "gbps", "kiops", "iotlb/pg"],
     )
     specs = _grid_specs("Fig 11c", "spdk", modes, "block", block_sizes, seed)
-    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs, chunk=chunk)):
         result.rows.append(
             [
                 spec.mode,
@@ -454,6 +465,7 @@ def fig12_ablation(
     value_bytes: int = 8192,
     scale: RunScale = FULL,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     seed: int = 1,
 ) -> FigureResult:
     """Fig 12: each F&S idea is necessary (Redis, 8 KB values).
@@ -476,7 +488,7 @@ def fig12_ablation(
         )
         for mode in modes
     ]
-    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs)):
+    for spec, point in zip(specs, run_points(specs, scale, jobs=jobs, chunk=chunk)):
         result.rows.append(
             [
                 spec.mode,

@@ -20,6 +20,7 @@ from .addr import (
     ptcache_key,
     vpn,
 )
+from .batch import burst_ready, replay_hits
 from .faultq import FaultReportingQueue, IommuFaultRecord
 from .invalidation import InvalidationQueue, InvalidationRequest
 from .iommu import DmaFault, Iommu, IommuConfig, TranslationResult
@@ -50,6 +51,8 @@ __all__ = [
     "ProbeOutcome",
     "InvalidationQueue",
     "InvalidationRequest",
+    "burst_ready",
+    "replay_hits",
     "FaultReportingQueue",
     "IommuFaultRecord",
     "IommuStats",

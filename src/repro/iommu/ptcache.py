@@ -133,14 +133,18 @@ class ProbeOutcome:
 
     __slots__ = ("deepest_hit_level", "memory_reads", "counted_misses")
 
+    # Per-walk dict construction shows up in profiles; there are only
+    # four possible counted-miss maps, precomputed here.  Instances
+    # still get a copy: ``probe_upper`` mutates its outcome's map.
+    _COUNTED_MISSES = {
+        deepest: {1: deepest < 1, 2: deepest < 2, 3: deepest < 3}
+        for deepest in (0, 1, 2, 3)
+    }
+
     def __init__(self, deepest_hit_level: int):
         self.deepest_hit_level = deepest_hit_level
         self.memory_reads = 4 - deepest_hit_level
-        self.counted_misses = {
-            1: deepest_hit_level < 1,
-            2: deepest_hit_level < 2,
-            3: deepest_hit_level < 3,
-        }
+        self.counted_misses = self._COUNTED_MISSES[deepest_hit_level].copy()
 
 
 class PtCacheHierarchy:

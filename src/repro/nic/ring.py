@@ -36,6 +36,9 @@ class RxRing:
         self._descriptors: deque[RxDescriptor] = deque()
         self.posted_descriptors = 0
         self.completed_descriptors = 0
+        # Maintained count of unconsumed slots; every arrival checks
+        # free_pages, so summing the deque there is a hot-path cost.
+        self._free_pages = 0
         # Fault plumbing (repro.faults); both None in normal runs.
         self.sim = sim
         self.faults = faults
@@ -60,11 +63,12 @@ class RxRing:
     def _post_now(self, descriptor: RxDescriptor) -> None:
         self._descriptors.append(descriptor)
         self.posted_descriptors += 1
+        self._free_pages += descriptor.free_pages
 
     @property
     def free_pages(self) -> int:
         """Unconsumed page slots across all posted descriptors."""
-        return sum(d.free_pages for d in self._descriptors)
+        return self._free_pages
 
     @property
     def descriptor_count(self) -> int:
@@ -77,7 +81,7 @@ class RxRing:
         caller must check :attr:`free_pages` first (and drop the packet
         if the ring is empty — the "ring exhaustion" drop mode).
         """
-        if count > self.free_pages:
+        if count > self._free_pages:
             raise RuntimeError("ring has too few free pages")
         taken: list[tuple[RxDescriptor, PageSlot]] = []
         for descriptor in self._descriptors:
@@ -85,6 +89,7 @@ class RxRing:
                 taken.append((descriptor, descriptor.take_page()))
             if len(taken) == count:
                 break
+        self._free_pages -= count
         return taken
 
     def pop_completed(self) -> list[RxDescriptor]:
@@ -108,4 +113,5 @@ class RxRing:
         """
         drained = list(self._descriptors)
         self._descriptors.clear()
+        self._free_pages = 0
         return drained

@@ -21,6 +21,7 @@ This is the perf/claims gate CI runs against the committed baselines.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 __all__ = ["DiffResult", "diff_documents"]
@@ -160,7 +161,40 @@ def _diff_bench(old: dict, new: dict, threshold: float) -> DiffResult:
         threshold,
         demote_to_note=all_same_work,
     )
+    _check_parallel_wins(result, new_points)
     return result
+
+
+def _check_parallel_wins(
+    result: DiffResult, new_points: dict[str, dict]
+) -> None:
+    """Fail when the pool loses to the serial sweep in the new doc.
+
+    This is the guard the warm-worker/chunking work exists to hold: a
+    ``sweep_jobsN`` row throughput-slower than ``sweep_serial`` means
+    dispatch overhead ate the parallelism again, regardless of how the
+    numbers moved relative to the old document.
+    """
+    serial = new_points.get("sweep_serial")
+    if serial is None:
+        return
+    serial_rate = serial.get("events_per_wall_s")
+    if not isinstance(serial_rate, (int, float)):
+        return
+    for name, point in new_points.items():
+        # Only the auto-chunked pool rows are gated; the explicit
+        # small-chunk diagnostic row (sweep_jobsN_chunked) documents a
+        # tuning point and may legitimately lose on some machines.
+        if not re.fullmatch(r"sweep_jobs\d+", name):
+            continue
+        rate = point.get("events_per_wall_s")
+        if not isinstance(rate, (int, float)):
+            continue
+        if rate < serial_rate:
+            result.regressions.append(
+                f"{name} slower than sweep_serial "
+                f"({rate:,.0f} < {serial_rate:,.0f} events/wall-s)"
+            )
 
 
 # The load-independent per-benchmark fields: equal inputs must produce

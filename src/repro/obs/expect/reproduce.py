@@ -121,9 +121,13 @@ def _truncated_phases(metrics: dict) -> list[str]:
 
 
 def _runner_kwargs(
-    runner: Callable, scale: RunScale, jobs: Optional[int], seed: int
+    runner: Callable,
+    scale: RunScale,
+    jobs: Optional[int],
+    seed: int,
+    chunk: Optional[int] = None,
 ) -> dict:
-    """Only pass ``jobs``/``seed`` to runners whose signature takes them.
+    """Only pass ``jobs``/``chunk``/``seed`` to runners that take them.
 
     Injected test runners (and any future figure without a sweep) may
     accept just ``scale``; probing the signature keeps them working.
@@ -135,6 +139,8 @@ def _runner_kwargs(
         return kwargs
     if "jobs" in parameters:
         kwargs["jobs"] = jobs
+    if "chunk" in parameters:
+        kwargs["chunk"] = chunk
     if "seed" in parameters:
         kwargs["seed"] = seed
     return kwargs
@@ -146,6 +152,7 @@ def run_reproduce(
     scale: RunScale,
     seed: int = 1,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     report_path: str = "REPORT.md",
     json_path: str = "report.json",
     runners: Optional[dict[str, Callable]] = None,
@@ -177,7 +184,7 @@ def run_reproduce(
         registry = MetricsRegistry()
         with observed(registry):
             result = runners[name](
-                **_runner_kwargs(runners[name], scale, jobs, seed)
+                **_runner_kwargs(runners[name], scale, jobs, seed, chunk)
             )
         metrics = registry.report()
         evaluation = evaluate_figure(specs[name], result, metrics=metrics)

@@ -23,6 +23,20 @@ routes every sweep (figures, reproduce, bench, faults) through it.
 
 from .seeds import derive_seed
 from .spec import PointSpec
-from .pool import RemotePointError, run_points
+from .pool import (
+    RemotePointError,
+    pool_forks,
+    run_points,
+    shutdown_pool,
+    warm_pool,
+)
 
-__all__ = ["PointSpec", "RemotePointError", "derive_seed", "run_points"]
+__all__ = [
+    "PointSpec",
+    "RemotePointError",
+    "derive_seed",
+    "pool_forks",
+    "run_points",
+    "shutdown_pool",
+    "warm_pool",
+]

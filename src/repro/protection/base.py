@@ -24,8 +24,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Optional
 
+from ..iommu.batch import burst_ready, replay_hits
 from ..iommu.invalidation import InvalidationStatus
 from ..nic.descriptor import RxDescriptor
 from ..obs.hooks import current_registry
@@ -231,6 +232,34 @@ class ProtectionDriver(ABC):
         if iommu is not None and iommu.fault_queue is not None:
             return reads, iommu.consume_abort()
         return reads, False
+
+    def translate_for_dma_burst(
+        self, iova: int, count: int, source: str
+    ) -> Optional[int]:
+        """Translate a same-page burst of ``count`` TLPs in one call.
+
+        The datapath's inner loop translates ``count`` consecutive
+        ``max_payload``-sized TLPs of one page back to back, with no
+        simulator event in between.  When the IOMMU's one-entry fast
+        path will replay calls 2..N anyway (:func:`~repro.iommu.batch.
+        burst_ready`), this translates the first TLP normally — misses,
+        walks and ``DmaFault`` behave exactly as the scalar loop's
+        first iteration — and applies the remaining N-1 replays as
+        counter arithmetic (:func:`~repro.iommu.batch.replay_hits`).
+
+        Returns the first TLP's page-walk read count (later TLPs are
+        hits and read nothing), or ``None`` when the burst cannot be
+        batched — the caller must then run the scalar
+        :meth:`translate_for_dma` loop, which handles monitors, fault
+        injection, per-call abort outcomes and stale-hit checking.
+        """
+        iommu = getattr(self, "iommu", None)
+        if iommu is None or not burst_ready(iommu):
+            return None
+        reads = self.translate(iova, source)
+        if count > 1:
+            replay_hits(iommu, count - 1, source)
+        return reads
 
     # ------------------------------------------------------------------
     # Hard-fault recovery

@@ -159,6 +159,35 @@ class DeferredDriver(ProtectionDriver):
             self.stale_translations += 1
         return result.memory_reads
 
+    def translate_for_dma_burst(
+        self, iova: int, count: int, source: str
+    ) -> Optional[int]:
+        # Stale-hit checking keeps the IOMMU fast path off, so the base
+        # ``burst_ready`` gate never fires here; batch explicitly.
+        # Within one burst no event runs between TLPs, so the page
+        # table cannot change: every TLP of the page shares the first
+        # TLP's staleness, and calls 2..N are plain IOTLB hits whose
+        # whole effect is the four hit counters plus the per-call stale
+        # tally this driver keeps.
+        iommu = self.iommu
+        if (
+            iommu.monitor is not None
+            or iommu.faults is not None
+            or iommu.fault_queue is not None
+        ):
+            return None
+        reads = self.translate(iova, source)
+        if count > 1:
+            stats = iommu.stats
+            stats.translations += count - 1
+            by_source = stats.translations_by_source
+            by_source[source] = by_source.get(source, 0) + count - 1
+            stats.iotlb_hits += count - 1
+            iommu.iotlb.hits += count - 1
+            if not iommu.page_table.is_mapped(iova):
+                self.stale_translations += count - 1
+        return reads
+
     def device_can_access(self, iova: int) -> bool:
         # The stale IOTLB entry keeps the door open until the flush.
         return self.iommu.iotlb.contains(iova) or self.iommu.page_table.is_mapped(iova)

@@ -55,6 +55,11 @@ class PassthroughDriver(ProtectionDriver):
     def translate(self, iova: int, source: str) -> int:
         return 0
 
+    def translate_for_dma_burst(self, iova, count, source):
+        # No IOMMU at all: the scalar loop is `count` pure no-ops, so
+        # the whole burst collapses to "zero reads, never aborted".
+        return 0
+
     def device_can_access(self, iova: int) -> bool:
         # Without an IOMMU the device can always reach host memory.
         return True

@@ -1,6 +1,6 @@
 """The analyzer's rule set, built on the project model + CFG/dataflow.
 
-Five rules ship with the analyzer:
+Seven rules ship with the analyzer:
 
 * :class:`PathSensitiveUnmapRule` (REPRO004) — the CFG upgrade of the
   lint's class-closure heuristic: every unmap must be followed by an
@@ -17,7 +17,11 @@ Five rules ship with the analyzer:
   vocabulary;
 * :class:`ResetRearmRule` (REPRO105) — a driver reset/recovery method
   must re-arm the invalidation queue on every path before it resumes
-  mapping DMA buffers.
+  mapping DMA buffers;
+* :class:`ChunkedDispatchRule` (REPRO106) — per-item ``pool.submit``
+  in a loop over sweep points (the dispatch pattern that made
+  ``--jobs 2`` slower than serial) without any chunking in the
+  enclosing function.
 
 Every rule reports plain :class:`~repro.verify.registry.Finding`
 objects; ``# noqa`` filtering and baseline suppression happen in the
@@ -43,6 +47,7 @@ __all__ = [
     "HookGuardRule",
     "SpecPhaseRule",
     "ResetRearmRule",
+    "ChunkedDispatchRule",
     "default_rules",
 ]
 
@@ -81,6 +86,7 @@ def default_rules() -> list[AnalyzerRule]:
         HookGuardRule(),
         SpecPhaseRule(),
         ResetRearmRule(),
+        ChunkedDispatchRule(),
     ]
 
 
@@ -1081,3 +1087,82 @@ class SpecPhaseRule(AnalyzerRule):
                         ):
                             names.add(node.value.value)
         return fragments, names
+
+
+# ---------------------------------------------------------------------------
+# REPRO106: per-item pool dispatch in a sweep loop
+# ---------------------------------------------------------------------------
+class ChunkedDispatchRule(AnalyzerRule):
+    """REPRO106: per-item ``pool.submit`` in a loop needs chunking.
+
+    The committed-bench regression this repo fixed: submitting each
+    sweep point as its own executor future pays a round of pickling and
+    future bookkeeping per point, which on small points costs more than
+    the parallelism recovers (``--jobs 2`` measured *slower* than
+    serial).  The rule flags ``<pool>.submit(fn, <loop-var>, ...)``
+    where the loop variable is passed through directly — one dispatch
+    per iterated item — unless the enclosing function shows any
+    chunking vocabulary (a name, attribute or call containing
+    ``chunk``), which marks the batched idiom.
+    """
+
+    code = "REPRO106"
+
+    def check(self, project: ProjectModel) -> list[Finding]:
+        findings: list[Finding] = []
+        for function in project.functions:
+            findings.extend(self._check_function(function))
+        return findings
+
+    def _check_function(self, function: FunctionInfo) -> list[Finding]:
+        if self._mentions_chunking(function.node):
+            return []
+        findings: list[Finding] = []
+        for loop in ast.walk(function.node):
+            if not isinstance(loop, (ast.For, ast.AsyncFor)):
+                continue
+            loop_vars = {
+                name.id
+                for name in ast.walk(loop.target)
+                if isinstance(name, ast.Name)
+            }
+            if not loop_vars:
+                continue
+            for call in _calls_in(list(loop.body)):
+                if _call_attr(call) != "submit":
+                    continue
+                # args[0] is the callable; per-item dispatch passes the
+                # loop variable itself as a payload argument.
+                passed = [
+                    arg.id
+                    for arg in call.args[1:]
+                    if isinstance(arg, ast.Name)
+                ]
+                if not any(name in loop_vars for name in passed):
+                    continue
+                findings.append(
+                    Finding(
+                        function.module.path,
+                        call.lineno,
+                        call.col_offset,
+                        self.code,
+                        f"{function.name}() submits one pool task per "
+                        "iterated item; per-item dispatch pays "
+                        "pickling and future bookkeeping per point "
+                        "and measurably loses to a serial sweep — "
+                        "dispatch fixed-size chunks of items instead",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _mentions_chunking(node: ast.AST) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and "chunk" in child.id.lower():
+                return True
+            if (
+                isinstance(child, ast.Attribute)
+                and "chunk" in child.attr.lower()
+            ):
+                return True
+        return False

@@ -319,4 +319,27 @@ control-flow paths.
         engines=("analyze",),
         category="dma-safety",
     ),
+    RuleInfo(
+        code="REPRO106",
+        name="per-item-pool-dispatch",
+        summary=(
+            "A loop submits one pool task per iterated item with no "
+            "chunking; per-item dispatch loses to a serial sweep."
+        ),
+        explanation="""
+The parallel-sweep regression recorded in BENCH_sim.json: submitting
+every sweep point as its own executor future pays a round of payload
+pickling and future bookkeeping per point, and on simulator-sized
+points that overhead exceeds what the parallelism recovers — the
+committed benchmark measured ``--jobs 2`` slower than the serial sweep.
+The warm-pool dispatcher (repro.parallel.pool) fixes this by shipping
+fixed-size chunks of consecutive points per worker task.  The rule
+flags ``<pool>.submit(fn, <loop-var>, ...)`` inside a ``for`` loop
+where the loop variable is passed directly as a task argument, unless
+the enclosing function uses chunking vocabulary (any name, attribute or
+call containing "chunk"), which marks the batched idiom.
+""",
+        engines=("analyze",),
+        category="observability",
+    ),
 ]

@@ -1,0 +1,64 @@
+"""The aged-allocator snapshot cache must be invisible in results.
+
+``Host._age_allocator`` replays a long allocate/free stream to build
+long-uptime allocator state; the module-level cache in
+``repro.host.server`` snapshots that state per configuration so later
+builds (and forked pool workers, via copy-on-write) skip the replay.
+Correctness bar: a cache-hit build behaves byte-identically to a
+cold one, and the cache stays out of the way whenever observation or
+fault hooks are armed.
+"""
+
+from repro.host import HostConfig, Testbed
+from repro.host.server import _AGED_ALLOCATOR_STATES
+from repro.verify import InvariantMonitor, monitored
+
+
+def run_quick(mode="strict"):
+    testbed = Testbed(HostConfig.cascade_lake(mode=mode))
+    testbed.add_rx_flows(2)
+    result = testbed.run(
+        warmup_ns=1_000_000.0, measure_ns=2_000_000.0, strict_until=True
+    )
+    return result, testbed
+
+
+def fingerprint(result, testbed):
+    return (
+        result.rx_goodput_gbps,
+        result.drops,
+        result.memory_reads_per_page,
+        result.allocation_trace,
+        testbed.sim.executed_events,
+    )
+
+
+class TestAgingCache:
+    def test_cache_hit_build_identical_to_cold_build(self):
+        _AGED_ALLOCATOR_STATES.clear()
+        cold = fingerprint(*run_quick())
+        assert _AGED_ALLOCATOR_STATES  # the cold build populated it
+        warm = fingerprint(*run_quick())
+        assert warm == cold
+
+    def test_one_entry_per_configuration(self):
+        _AGED_ALLOCATOR_STATES.clear()
+        run_quick("strict")
+        entries = len(_AGED_ALLOCATOR_STATES)
+        # Same configuration again: no new entry (the key must not
+        # contain anything run-specific such as object addresses).
+        run_quick("strict")
+        assert len(_AGED_ALLOCATOR_STATES) == entries
+        # A different mode ages a different driver type: new entry.
+        run_quick("fns")
+        assert len(_AGED_ALLOCATOR_STATES) > entries
+
+    def test_armed_monitor_bypasses_cache(self):
+        _AGED_ALLOCATOR_STATES.clear()
+        with monitored(InvariantMonitor()):
+            testbed = Testbed(HostConfig.cascade_lake(mode="strict"))
+            testbed.add_rx_flows(1)
+        # Registry scopes and monitors hold references into live
+        # allocator internals; snapshotting under them would leak one
+        # run's observers into another.
+        assert not _AGED_ALLOCATOR_STATES

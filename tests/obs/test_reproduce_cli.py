@@ -352,6 +352,47 @@ class TestDiffBenchExactWork:
         result = diff_documents(old, new)
         assert any("iperf_strict" in r for r in result.regressions)
 
+    def sweep_doc(self, serial_rate, jobs_rate, chunked_rate=None):
+        rows = [
+            self.sweep_row("sweep_serial", serial_rate),
+            self.sweep_row("sweep_jobs2", jobs_rate),
+        ]
+        if chunked_rate is not None:
+            rows.append(self.sweep_row("sweep_jobs2_chunked", chunked_rate))
+        return {
+            "schema": "repro.bench/1",
+            "benchmarks": rows,
+            "total_wall_s": sum(r["wall_s"] for r in rows),
+        }
+
+    @staticmethod
+    def sweep_row(name, rate):
+        return {
+            "name": name,
+            "wall_s": 1.0,
+            "events": 1000,
+            "sim_ns": 1.0,
+            "events_per_wall_s": rate,
+        }
+
+    def test_parallel_sweep_losing_to_serial_is_regression(self):
+        # The bug this PR fixed: the pool must never lose to the
+        # serial sweep again, whatever the old document said.
+        doc = self.sweep_doc(50_000.0, 40_000.0)
+        result = diff_documents(doc, doc)
+        assert not result.ok
+        assert any("sweep_jobs2" in r for r in result.regressions)
+
+    def test_parallel_sweep_winning_passes(self):
+        doc = self.sweep_doc(50_000.0, 60_000.0)
+        assert diff_documents(doc, doc).ok
+
+    def test_chunked_diagnostic_row_not_gated(self):
+        # The explicit-chunk row documents a tuning point; only the
+        # auto-chunk row carries the must-win contract.
+        doc = self.sweep_doc(50_000.0, 60_000.0, chunked_rate=30_000.0)
+        assert diff_documents(doc, doc).ok
+
 
 class TestDiffCli:
     def write(self, path, doc):

@@ -23,7 +23,7 @@ MICRO = RunScale(
 )
 
 
-def run_fig2(jobs):
+def run_fig2(jobs, chunk=None):
     registry = MetricsRegistry(sample_interval_ns=500_000.0)
     with observed(registry):
         result = fig2_flows(
@@ -31,6 +31,7 @@ def run_fig2(jobs):
             flows=(5, 10),
             scale=MICRO,
             jobs=jobs,
+            chunk=chunk,
         )
     return result, registry.report()
 
@@ -49,6 +50,21 @@ class TestFigureEquivalence:
             serial_metrics, sort_keys=True
         )
 
+    def test_chunk_boundaries_invisible(self):
+        # jobs × chunk cells: chunk 1 (worst-case per-point dispatch),
+        # a prime that straddles worker boundaries unevenly, and a
+        # chunk larger than the whole sweep (single dispatch).  All
+        # must reproduce the serial result exactly.
+        serial, serial_metrics = run_fig2(jobs=None)
+        serial_blob = json.dumps(serial_metrics, sort_keys=True)
+        for jobs, chunk in ((2, 1), (2, 3), (4, 3), (4, 99)):
+            pooled, pooled_metrics = run_fig2(jobs=jobs, chunk=chunk)
+            assert pooled.rows == serial.rows, (jobs, chunk)
+            assert pooled.raw == serial.raw, (jobs, chunk)
+            assert (
+                json.dumps(pooled_metrics, sort_keys=True) == serial_blob
+            ), (jobs, chunk)
+
     def test_fault_sweep_rows_identical(self):
         label, plan = sweep_plans(seed=1, scale=MICRO)[0]
         serial = fault_sweep(scale=MICRO, plan=plan, jobs=None)
@@ -60,24 +76,26 @@ class TestFigureEquivalence:
         )
 
 
-def fig2_reduced(scale, jobs=None, seed=1):
+def fig2_reduced(scale, jobs=None, chunk=None, seed=1):
     return fig2_flows(
         modes=("off", "strict"),
         flows=(5, 10),
         scale=scale,
         jobs=jobs,
+        chunk=chunk,
         seed=seed,
     )
 
 
 class TestReproduceEquivalence:
-    def reproduce(self, tmp_path, jobs):
-        out = tmp_path / f"jobs{jobs}"
+    def reproduce(self, tmp_path, jobs, chunk=None):
+        out = tmp_path / f"jobs{jobs}chunk{chunk}"
         out.mkdir()
         status = run_reproduce(
             ["fig2"],
             scale=MICRO,
             jobs=jobs,
+            chunk=chunk,
             report_path=str(out / "REPORT.md"),
             json_path=str(out / "report.json"),
             runners={"fig2": fig2_reduced},
@@ -96,6 +114,13 @@ class TestReproduceEquivalence:
         assert pooled_status == serial_status
         assert pooled_md == serial_md
         assert pooled_json == serial_json
+        # A non-default chunk must be equally invisible in the report.
+        chunked_status, chunked_md, chunked_json = self.reproduce(
+            tmp_path, 2, chunk=1
+        )
+        assert chunked_status == serial_status
+        assert chunked_md == serial_md
+        assert chunked_json == serial_json
         doc = json.loads(pooled_json)
         assert doc["provenance"]["config_hash"] == json.loads(serial_json)[
             "provenance"

@@ -144,6 +144,81 @@ class TestRunPoints:
         assert parallel.report() == serial.report()
 
 
+class TestChunking:
+    def test_invalid_chunk_rejected(self, scratch_runners):
+        runner = scratch_runners("t-pid", _pid_point)
+        with pytest.raises(ValueError, match="chunk"):
+            run_points(specs_for(runner), QUICK, jobs=2, chunk=0)
+
+    @pytest.mark.parametrize("chunk", [1, 3, 99])
+    def test_results_identical_for_every_chunk_size(
+        self, scratch_runners, chunk
+    ):
+        runner = scratch_runners("t-pid", _pid_point)
+        serial = run_points(specs_for(runner, count=5), QUICK)
+        pooled = run_points(
+            specs_for(runner, count=5), QUICK, jobs=2, chunk=chunk
+        )
+        strip = lambda vs: [  # noqa: E731 - pids intentionally differ
+            {k: v for k, v in value.items() if k != "pid"} for value in vs
+        ]
+        assert strip(pooled) == strip(serial)
+
+    def test_violation_transported_from_chunk(self, scratch_runners):
+        boom = scratch_runners("t-boom", _violating_point)
+        with pytest.raises(RemotePointError) as info:
+            run_points(specs_for(boom), QUICK, jobs=2, chunk=3)
+        assert info.value.kind == "use-after-unmap"
+
+    def test_chunk_stops_at_failing_point_but_keeps_earlier_phases(
+        self, scratch_runners
+    ):
+        pid = scratch_runners("t-pid", _pid_point)
+        boom = scratch_runners("t-boom", _violating_point)
+        specs = specs_for(pid, count=2) + specs_for(boom, count=1)
+        registry = MetricsRegistry()
+        with observed(registry):
+            with pytest.raises(RemotePointError):
+                run_points(specs, QUICK, jobs=2, chunk=3)
+        # The two completed points' phases were adopted before the
+        # error re-raised; the failing point's phase is not.
+        assert [p.label for p in registry.phases] == [
+            s.label for s in specs[:2]
+        ]
+
+
+class TestWarmPool:
+    def test_pool_persists_across_sweeps(self, scratch_runners):
+        from repro.parallel import pool_forks, shutdown_pool
+
+        shutdown_pool()
+        runner = scratch_runners("t-pid", _pid_point)
+        forks_before = pool_forks()
+        run_points(specs_for(runner), QUICK, jobs=2)
+        after_first = pool_forks()
+        # The regression this guards: each sweep used to build (and
+        # tear down) its own executor.  A second sweep through the same
+        # pool must not fork again.
+        run_points(specs_for(runner), QUICK, jobs=2)
+        run_points(specs_for(runner), QUICK, jobs=2, chunk=2)
+        assert after_first == forks_before + 1
+        assert pool_forks() == after_first
+
+    def test_new_runner_registration_reforks(self, scratch_runners):
+        from repro.parallel import pool_forks, shutdown_pool
+
+        shutdown_pool()
+        runner = scratch_runners("t-pid", _pid_point)
+        run_points(specs_for(runner), QUICK, jobs=2)
+        baseline = pool_forks()
+        # Registering another runner changes the registry token; the
+        # next sweep must re-fork so workers see the registration.
+        other = scratch_runners("t-pid-2", _pid_point)
+        values = run_points(specs_for(other), QUICK, jobs=2)
+        assert pool_forks() == baseline + 1
+        assert [v["x"] for v in values] == [0, 1, 2, 3]
+
+
 class TestAdoptPhase:
     def payload(self):
         source = MetricsRegistry()

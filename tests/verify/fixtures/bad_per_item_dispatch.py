@@ -1,0 +1,12 @@
+"""REPRO106 fixture: one pool task per sweep point, no chunking."""
+
+
+def run_points_per_item(pool, specs, scale):
+    futures = []
+    for spec in specs:
+        futures.append(pool.submit(run_one, spec, scale))
+    return [future.result() for future in futures]
+
+
+def run_one(spec, scale):
+    return spec, scale

@@ -1,0 +1,19 @@
+"""REPRO106 fixture: points ride the pool in fixed-size chunks."""
+
+
+def run_points_chunked(pool, specs, scale, chunk=None):
+    chunk_size = chunk if chunk is not None else max(1, len(specs) // 4)
+    chunks = [
+        specs[index:index + chunk_size]
+        for index in range(0, len(specs), chunk_size)
+    ]
+    futures = []
+    for chunk_specs in chunks:
+        futures.append(pool.submit(run_chunk, chunk_specs, scale))
+    return [
+        value for future in futures for value in future.result()
+    ]
+
+
+def run_chunk(specs, scale):
+    return [(spec, scale) for spec in specs]

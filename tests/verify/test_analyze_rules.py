@@ -407,6 +407,30 @@ def test_reset_with_rearm_first_is_clean():
 
 
 # ---------------------------------------------------------------------------
+# REPRO106: per-item pool dispatch in a sweep loop
+# ---------------------------------------------------------------------------
+def test_per_item_dispatch_flagged():
+    findings = analyze_fixture("bad_per_item_dispatch.py")
+    assert codes(findings) == ["REPRO106"]
+    assert "one pool task per iterated item" in findings[0].message
+
+
+def test_chunked_dispatch_is_clean():
+    assert analyze_fixture("good_chunked_dispatch.py") == []
+
+
+def test_submit_of_derived_value_not_flagged():
+    # Submitting something computed from the loop variable (not the
+    # variable itself) is not the per-item payload pattern.
+    findings = analyze_source(
+        "def f(pool, items):\n"
+        "    for item in items:\n"
+        "        pool.submit(work, item.tag)\n"
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # The analyzer's own bar: zero findings on the shipped source tree
 # ---------------------------------------------------------------------------
 def test_repo_source_tree_is_clean():
