@@ -17,6 +17,8 @@ Usage::
     python -m repro report fig2          # metrics JSON + summary table
     python -m repro bench                # wall-clock speed -> BENCH_sim.json
     python -m repro bench --check BENCH_sim.json
+    python -m repro publish out/         # publication figures + index.html
+    python -m repro publish out/ --figures fig2,fig9 --format svg
     python -m repro reproduce            # claims gate -> REPORT.md + report.json
     python -m repro reproduce --figures fig2,fig7 --jobs 4
     python -m repro diff old.json new.json   # regression gate (report or bench)
@@ -259,6 +261,21 @@ def _build_bench_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="points per worker task for the sweep_jobsN row "
         "(default: auto)",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="PATH",
+        default="bench_history.jsonl",
+        help=(
+            "append a provenance-stamped trend row (git sha, UTC time, "
+            "events/wall-s per benchmark) to this JSONL file "
+            "(default: bench_history.jsonl)"
+        ),
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append to the bench history file",
     )
     return parser
 
@@ -684,8 +701,10 @@ def _run_bench(raw: list[str]) -> int:
         print(f"{args.check}: schema OK "
               f"({len(doc['benchmarks'])} benchmarks)")
         return 0
+    history = None if args.no_history else args.history
     doc = bench.write_bench(
-        args.out, full=args.full, jobs=args.jobs, chunk=args.chunk
+        args.out, full=args.full, jobs=args.jobs, chunk=args.chunk,
+        history_path=history,
     )
     for point in doc["benchmarks"]:
         print(
@@ -694,6 +713,14 @@ def _run_bench(raw: list[str]) -> int:
             f"{point['sim_ns_per_wall_s'] / 1e6:8.1f} sim-ms/s"
         )
     print(f"total: {doc['total_wall_s']:.2f}s wall -> {args.out}")
+    provenance = doc.get("provenance", {})
+    print(
+        f"stamp: sha {provenance.get('git_sha', 'unknown')[:12]} "
+        f"at {provenance.get('utc', '?')} "
+        f"({provenance.get('scale', '?')} scale)"
+    )
+    if history is not None:
+        print(f"history: appended to {history}")
     return 0
 
 
@@ -750,6 +777,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_diff(raw[1:])
     if raw and raw[0] == "profile":
         return _run_profile(raw[1:])
+    if raw and raw[0] == "publish":
+        from .obs.publish.cli import main as publish_main
+
+        return publish_main(raw[1:])
     if raw and raw[0] == "run":
         # ``repro run fig7 --verify`` is an alias for ``repro fig7``.
         raw = raw[1:]

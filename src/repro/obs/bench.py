@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from typing import Optional
 
 from ..host.config import HostConfig
@@ -28,9 +29,14 @@ __all__ = [
     "run_bench",
     "check_schema",
     "write_bench",
+    "history_row",
+    "append_history",
+    "load_history",
 ]
 
 SCHEMA = "repro.bench/1"
+HISTORY_SCHEMA = "repro.bench-history/1"
+DEFAULT_HISTORY_PATH = "bench_history.jsonl"
 
 
 @dataclass(frozen=True)
@@ -177,8 +183,27 @@ def run_bench(
     benchmarks.extend(_run_point(point) for point in bench_points(full))
     return {
         "schema": SCHEMA,
+        "provenance": _provenance(full),
         "benchmarks": benchmarks,
         "total_wall_s": sum(b["wall_s"] for b in benchmarks),
+    }
+
+
+def _provenance(full: bool) -> dict:
+    """Who/when/what for a bench run: git sha, UTC time, run scale.
+
+    ``report.json`` has carried this since PR 4; stamping the bench
+    document the same way lets ``repro diff`` name the shas it is
+    comparing and gives every ``bench_history.jsonl`` row an anchor.
+    Wall-clock time is by design here (same as the timings themselves).
+    """
+    from .expect.reproduce import _git_sha
+
+    stamp = datetime.now(timezone.utc)  # noqa: REPRO001
+    return {
+        "git_sha": _git_sha(),
+        "utc": stamp.strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "scale": "full" if full else "quick",
     }
 
 
@@ -223,7 +248,78 @@ def check_schema(doc: object) -> list[str]:
     total = doc.get("total_wall_s")
     if not isinstance(total, (int, float)):
         problems.append("total_wall_s missing or wrong type")
+    provenance = doc.get("provenance")
+    if provenance is not None:  # legacy documents predate the stamp
+        if not isinstance(provenance, dict):
+            problems.append("provenance must be an object")
+        else:
+            for key in ("git_sha", "utc", "scale"):
+                if not isinstance(provenance.get(key), str):
+                    problems.append(
+                        f"provenance.{key} missing or wrong type"
+                    )
     return problems
+
+
+# ----------------------------------------------------------------------
+# bench_history.jsonl — the committed wall-clock trend
+# ----------------------------------------------------------------------
+def history_row(doc: dict) -> dict:
+    """Distill a bench document into one ``bench_history.jsonl`` row.
+
+    Keeps the provenance anchor plus, per benchmark, the trend metric
+    (``events_per_wall_s``) and the deterministic work counter
+    (``events``) that lets a reader tell a faster simulator from a
+    smaller workload.
+    """
+    provenance = doc.get("provenance") or {}
+    return {
+        "schema": HISTORY_SCHEMA,
+        "git_sha": provenance.get("git_sha", "unknown"),
+        "utc": provenance.get("utc", "unknown"),
+        "scale": provenance.get("scale", "unknown"),
+        "benchmarks": {
+            bench["name"]: {
+                "events_per_wall_s": bench.get("events_per_wall_s"),
+                "events": bench.get("events"),
+                "wall_s": bench.get("wall_s"),
+            }
+            for bench in doc.get("benchmarks", [])
+            if isinstance(bench, dict) and "name" in bench
+        },
+        "total_wall_s": doc.get("total_wall_s"),
+    }
+
+
+def append_history(doc: dict, path: str) -> dict:
+    """Append one history row for ``doc``; returns the row."""
+    row = history_row(doc)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return row
+
+
+def load_history(path: str) -> list[dict]:
+    """Read ``bench_history.jsonl`` rows, skipping malformed lines."""
+    rows: list[dict] = []
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except ValueError:
+                    continue
+                if (
+                    isinstance(row, dict)
+                    and row.get("schema") == HISTORY_SCHEMA
+                ):
+                    rows.append(row)
+    except OSError:
+        return []
+    return rows
 
 
 def write_bench(
@@ -231,10 +327,17 @@ def write_bench(
     full: bool = False,
     jobs: Optional[int] = None,
     chunk: Optional[int] = None,
+    history_path: Optional[str] = DEFAULT_HISTORY_PATH,
 ) -> dict:
-    """Run the benchmarks and write the document to ``path``."""
+    """Run the benchmarks, write the document, append the trend row.
+
+    ``history_path=None`` skips the append (used by ``--no-history``
+    and by tests that only care about the document).
+    """
     doc = run_bench(full=full, jobs=jobs, chunk=chunk)
     with open(path, "w") as handle:
         json.dump(doc, handle, indent=2)
         handle.write("\n")
+    if history_path is not None:
+        append_history(doc, history_path)
     return doc

@@ -74,6 +74,26 @@ def diff_documents(
     raise ValueError(f"unsupported schema {old_schema!r}")
 
 
+def _sha_note(result: DiffResult, old: dict, new: dict) -> None:
+    """Name the git shas being compared (when either side is stamped).
+
+    Both report and (since the provenance stamping) bench documents
+    carry ``provenance.git_sha``; legacy bench documents without one
+    stay silent so a diff of two unstamped files reads unchanged.
+    """
+    old_sha = (old.get("provenance") or {}).get("git_sha")
+    new_sha = (new.get("provenance") or {}).get("git_sha")
+    if old_sha is None and new_sha is None:
+        return
+
+    def short(sha: object) -> str:
+        return sha[:12] if isinstance(sha, str) and sha else "unknown"
+
+    result.notes.append(
+        f"comparing git shas {short(old_sha)} -> {short(new_sha)}"
+    )
+
+
 # ----------------------------------------------------------------------
 # report.json vs report.json — claim-level gating
 # ----------------------------------------------------------------------
@@ -88,6 +108,7 @@ def _claims(doc: dict) -> dict[tuple[str, str], str]:
 
 def _diff_reports(old: dict, new: dict) -> DiffResult:
     result = DiffResult(kind="report")
+    _sha_note(result, old, new)
     old_claims = _claims(old)
     new_claims = _claims(new)
     for key, new_status in new_claims.items():
@@ -123,6 +144,7 @@ def _diff_reports(old: dict, new: dict) -> DiffResult:
 # ----------------------------------------------------------------------
 def _diff_bench(old: dict, new: dict, threshold: float) -> DiffResult:
     result = DiffResult(kind="bench")
+    _sha_note(result, old, new)
     old_points = {
         b.get("name", "?"): b for b in old.get("benchmarks", [])
     }

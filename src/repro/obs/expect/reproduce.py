@@ -31,6 +31,8 @@ __all__ = [
     "REPORT_SCHEMA",
     "default_runners",
     "provenance",
+    "collect_sections",
+    "report_doc",
     "run_reproduce",
     "render_report_md",
 ]
@@ -146,6 +148,54 @@ def _runner_kwargs(
     return kwargs
 
 
+def collect_sections(
+    names: Sequence[str],
+    *,
+    scale: RunScale,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
+    runners: Optional[dict[str, Callable]] = None,
+    specs: Optional[dict[str, FigureSpec]] = None,
+    echo: Callable[[str], None] = print,
+) -> list[dict]:
+    """Run each named figure and evaluate its spec; the shared core.
+
+    Both ``repro reproduce`` and ``repro publish`` build their report
+    document through this loop, so the sweep data behind a published
+    figure is byte-identical to the gated report (and, via
+    :mod:`repro.parallel`, identical at any ``--jobs``).
+    """
+    from ..expectations import SPECS
+
+    runners = runners if runners is not None else default_runners()
+    specs = specs if specs is not None else SPECS
+    sections = []
+    for name in names:
+        registry = MetricsRegistry()
+        with observed(registry):
+            result = runners[name](
+                **_runner_kwargs(runners[name], scale, jobs, seed, chunk)
+            )
+        metrics = registry.report()
+        evaluation = evaluate_figure(specs[name], result, metrics=metrics)
+        echo(result.format())
+        echo(evaluation.format())
+        sections.append(
+            {
+                "figure": name,
+                "figure_id": result.figure_id,
+                "title": result.title,
+                "headers": result.headers,
+                "rows": result.rows,
+                "notes": result.notes,
+                "evaluation": evaluation,
+                "truncated_phases": _truncated_phases(metrics),
+            }
+        )
+    return sections
+
+
 def run_reproduce(
     figures: Optional[Sequence[str]] = None,
     *,
@@ -179,32 +229,18 @@ def run_reproduce(
         )
         return 2
 
-    sections = []
-    for name in names:
-        registry = MetricsRegistry()
-        with observed(registry):
-            result = runners[name](
-                **_runner_kwargs(runners[name], scale, jobs, seed, chunk)
-            )
-        metrics = registry.report()
-        evaluation = evaluate_figure(specs[name], result, metrics=metrics)
-        echo(result.format())
-        echo(evaluation.format())
-        sections.append(
-            {
-                "figure": name,
-                "figure_id": result.figure_id,
-                "title": result.title,
-                "headers": result.headers,
-                "rows": result.rows,
-                "notes": result.notes,
-                "evaluation": evaluation,
-                "truncated_phases": _truncated_phases(metrics),
-            }
-        )
-
+    sections = collect_sections(
+        names,
+        scale=scale,
+        seed=seed,
+        jobs=jobs,
+        chunk=chunk,
+        runners=runners,
+        specs=specs,
+        echo=echo,
+    )
     manifest = provenance(names, scale, seed, specs)
-    doc = _report_doc(manifest, sections)
+    doc = report_doc(manifest, sections)
     with open(json_path, "w") as handle:
         json.dump(doc, handle, indent=2)
         handle.write("\n")
@@ -219,7 +255,8 @@ def run_reproduce(
     return 1 if summary["failed"] else 0
 
 
-def _report_doc(manifest: dict, sections: list[dict]) -> dict:
+def report_doc(manifest: dict, sections: list[dict]) -> dict:
+    """The machine-readable ``report.json`` document (claims included)."""
     figures = []
     totals = {"claims": 0, "passed": 0, "failed": 0, "skipped": 0}
     for section in sections:

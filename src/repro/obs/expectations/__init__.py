@@ -9,6 +9,12 @@ all read from here, so they cannot disagree.
 Paper-vs-ours context for every claim lives in ``EXPERIMENTS.md``;
 deliberate deviations are encoded as the (looser) bounds asserted here
 and documented there.
+
+Spec modules may additionally export ``PAPER_CURVES`` — approximate
+digitizations of the paper's plotted series, keyed by table column then
+mode.  :func:`reference_curves` is the accessor ``repro publish`` uses
+to overlay them as dashed context lines; they are presentation only and
+never gated on.
 """
 
 from . import (
@@ -45,3 +51,24 @@ _MODULES = (
 SPECS: dict[str, FigureSpec] = {
     module.SPEC.figure: module.SPEC for module in _MODULES
 }
+
+_BY_KEY = {module.SPEC.figure: module for module in _MODULES}
+
+
+def reference_curves(
+    figure: str,
+) -> dict[str, dict[str, list[tuple[float, float]]]]:
+    """The paper's reference curves for one figure, or ``{}``.
+
+    Shape: ``{column: {mode: [(x, y), ...]}}`` in the figure's own
+    table units.  Figures without digitized curves (e.g. ``model``,
+    whose paper prediction is already a table column) return ``{}``.
+    """
+    module = _BY_KEY.get(figure)
+    if module is None:
+        return {}
+    curves = getattr(module, "PAPER_CURVES", {})
+    return {
+        column: {mode: list(points) for mode, points in by_mode.items()}
+        for column, by_mode in curves.items()
+    }

@@ -42,3 +42,21 @@ SPEC = FigureSpec(
         ),
     ),
 )
+
+
+# Paper reference curves for the publication overlay (``repro publish``).
+# Approximate digitizations of the paper's plotted series (the claim-level
+# paper-vs-ours context lives in EXPERIMENTS.md); they are drawn as dashed
+# context lines in the generated figures and are never gated on.
+PAPER_CURVES: dict[str, dict[str, list[tuple[float, float]]]] = {
+    "rx_gbps": {
+        "off": [(1, 97.0), (2, 98.0), (4, 99.0)],
+        "strict": [(1, 55.0), (2, 30.0), (4, 20.0)],
+        "fns": [(1, 85.0), (2, 95.0), (4, 98.0)],
+    },
+    "tx_gbps": {
+        "off": [(1, 93.0), (2, 95.0), (4, 96.0)],
+        "strict": [(1, 70.0), (2, 60.0), (4, 55.0)],
+        "fns": [(1, 88.0), (2, 94.0), (4, 95.0)],
+    },
+}

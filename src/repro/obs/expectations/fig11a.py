@@ -84,3 +84,16 @@ SPEC = FigureSpec(
         ),
     ),
 )
+
+
+# Paper reference curves for the publication overlay (``repro publish``).
+# Approximate digitizations of the paper's plotted series (the claim-level
+# paper-vs-ours context lives in EXPERIMENTS.md); they are drawn as dashed
+# context lines in the generated figures and are never gated on.
+PAPER_CURVES: dict[str, dict[str, list[tuple[float, float]]]] = {
+    "gbps": {
+        "off": [(4096, 99.0), (8192, 99.0), (32768, 99.0), (131072, 99.0)],
+        "strict": [(4096, 30.0), (8192, 55.0), (32768, 60.0), (131072, 61.0)],
+        "fns": [(4096, 90.0), (8192, 97.0), (32768, 99.0), (131072, 99.0)],
+    },
+}

@@ -31,3 +31,16 @@ SPEC = FigureSpec(
         ),
     ),
 )
+
+
+# Paper reference curves for the publication overlay (``repro publish``).
+# Approximate digitizations of the paper's plotted series (the claim-level
+# paper-vs-ours context lives in EXPERIMENTS.md); they are drawn as dashed
+# context lines in the generated figures and are never gated on.
+PAPER_CURVES: dict[str, dict[str, list[tuple[float, float]]]] = {
+    "gbps": {
+        "off": [(131072, 90.0), (524288, 91.0), (2097152, 90.0)],
+        "strict": [(131072, 29.0), (524288, 30.0), (2097152, 30.0)],
+        "fns": [(131072, 90.0), (524288, 91.0), (2097152, 90.0)],
+    },
+}

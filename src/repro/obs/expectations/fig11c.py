@@ -50,3 +50,19 @@ SPEC = FigureSpec(
         ),
     ),
 )
+
+
+# Paper reference curves for the publication overlay (``repro publish``).
+# Approximate digitizations of the paper's plotted series (the claim-level
+# paper-vs-ours context lives in EXPERIMENTS.md); they are drawn as dashed
+# context lines in the generated figures and are never gated on.
+PAPER_CURVES: dict[str, dict[str, list[tuple[float, float]]]] = {
+    "gbps": {
+        "off": [(32768, 91.0), (65536, 92.0), (262144, 93.0)],
+        "strict": [(32768, 58.0), (65536, 60.0), (262144, 62.0)],
+        "fns": [(32768, 88.0), (65536, 92.0), (262144, 93.0)],
+    },
+    "iotlb/pg": {
+        "strict": [(32768, 1.50), (262144, 1.00)],
+    },
+}

@@ -69,3 +69,18 @@ SPEC = FigureSpec(
         ),
     ),
 )
+
+
+# Paper reference curves for the publication overlay (``repro publish``).
+# Approximate digitizations of the paper's plotted series (the claim-level
+# paper-vs-ours context lives in EXPERIMENTS.md); they are drawn as dashed
+# context lines in the generated figures and are never gated on.
+PAPER_CURVES: dict[str, dict[str, list[tuple[float, float]]]] = {
+    "gbps": {
+        "strict": [(8192, 35.0)],
+        "linux+A": [(8192, 55.0)],
+        "linux+B": [(8192, 55.0)],
+        "fns": [(8192, 87.0)],
+        "off": [(8192, 90.0)],
+    },
+}

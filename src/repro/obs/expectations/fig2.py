@@ -93,3 +93,21 @@ SPEC = FigureSpec(
         ),
     ),
 )
+
+
+# Paper reference curves for the publication overlay (``repro publish``).
+# Approximate digitizations of the paper's plotted series (the claim-level
+# paper-vs-ours context lives in EXPERIMENTS.md); they are drawn as dashed
+# context lines in the generated figures and are never gated on.
+PAPER_CURVES: dict[str, dict[str, list[tuple[float, float]]]] = {
+    "gbps": {
+        "off": [(5, 99.0), (10, 97.0), (20, 95.0), (40, 92.0)],
+        "strict": [(5, 80.0), (10, 68.0), (20, 52.0), (40, 35.0)],
+    },
+    "iotlb/pg": {
+        "strict": [(5, 1.30), (10, 1.60), (20, 1.90), (40, 2.20)],
+    },
+    "m3/pg": {
+        "strict": [(5, 0.36), (10, 0.55), (20, 0.72), (40, 0.90)],
+    },
+}

@@ -85,3 +85,23 @@ SPEC = FigureSpec(
         ),
     ),
 )
+
+
+# Paper reference curves for the publication overlay (``repro publish``).
+# Approximate digitizations of the paper's plotted series (the claim-level
+# paper-vs-ours context lives in EXPERIMENTS.md); they are drawn as dashed
+# context lines in the generated figures and are never gated on.
+PAPER_CURVES: dict[str, dict[str, list[tuple[float, float]]]] = {
+    "gbps": {
+        "off": [(5, 99.0), (10, 97.0), (20, 95.0), (40, 92.0)],
+        "strict": [(5, 80.0), (10, 68.0), (20, 52.0), (40, 35.0)],
+        "fns": [(5, 99.0), (10, 97.0), (20, 95.0), (40, 92.0)],
+    },
+    "iotlb/pg": {
+        "strict": [(5, 1.30), (40, 2.20)],
+        "fns": [(5, 1.10), (40, 1.15)],
+    },
+    "m3/pg": {
+        "fns": [(5, 0.045), (40, 0.045)],
+    },
+}

@@ -68,3 +68,19 @@ SPEC = FigureSpec(
         ),
     ),
 )
+
+
+# Paper reference curves for the publication overlay (``repro publish``).
+# Approximate digitizations of the paper's plotted series (the claim-level
+# paper-vs-ours context lives in EXPERIMENTS.md); they are drawn as dashed
+# context lines in the generated figures and are never gated on.
+PAPER_CURVES: dict[str, dict[str, list[tuple[float, float]]]] = {
+    "gbps": {
+        "off": [(256, 99.0), (512, 99.0), (1024, 99.0), (2048, 98.0)],
+        "strict": [(256, 80.0), (512, 78.0), (1024, 73.0), (2048, 68.0)],
+        "fns": [(256, 99.0), (512, 99.0), (1024, 98.0), (2048, 93.0)],
+    },
+    "m3/pg": {
+        "fns": [(256, 0.053), (2048, 0.053)],
+    },
+}

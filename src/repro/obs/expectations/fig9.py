@@ -63,3 +63,16 @@ SPEC = FigureSpec(
         ),
     ),
 )
+
+
+# Paper reference curves for the publication overlay (``repro publish``).
+# Approximate digitizations of the paper's plotted series (the claim-level
+# paper-vs-ours context lives in EXPERIMENTS.md); they are drawn as dashed
+# context lines in the generated figures and are never gated on.
+PAPER_CURVES: dict[str, dict[str, list[tuple[float, float]]]] = {
+    "p99.9": {
+        "off": [(128, 67.0), (32768, 120.0)],
+        "strict": [(128, 4000.0), (32768, 4000.0)],
+        "fns": [(128, 78.0), (32768, 140.0)],
+    },
+}

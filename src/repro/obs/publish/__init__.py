@@ -1,0 +1,62 @@
+"""Publication pipeline: figures, trend dashboard, HTML gallery.
+
+``repro publish out/`` renders every reproduced figure as a
+publication chart (paper reference curves overlaid, claim-verdict
+badges attached), the bench-history trend, and a span-trace digest,
+tied together by a browsable ``index.html``::
+
+    from repro.obs.publish import build_figure_artifact, PUBLISH_SPECS
+
+Module map — data flows top to bottom:
+
+* :mod:`.datasource` — report documents (load or regenerate through
+  the shared ``collect_sections`` loop) and trace recording;
+* :mod:`.figspecs` / :mod:`.figdata` — per-figure panel layouts and
+  the backend-independent artifact model;
+* :mod:`.bench_trend` / :mod:`.tracedigest` — the two derived
+  dashboards (bench history, span digest);
+* :mod:`.style` — palette and publication style presets;
+* :mod:`.svgbackend` / :mod:`.mplbackend` — the two renderers
+  (builtin SVG always available; matplotlib via the ``publish``
+  extra for png/pdf);
+* :mod:`.htmlindex` / :mod:`.cli` — the gallery page and the
+  ``repro publish`` entry point.
+
+Importing this package never imports matplotlib; the dependency is
+probed lazily so the bare tier-1 environment stays sufficient for
+``--format svg``.
+"""
+
+from .figdata import (
+    Badge,
+    Bar,
+    FigureArtifact,
+    PanelData,
+    Series,
+    build_figure_artifact,
+)
+from .figspecs import PUBLISH_SPECS, PanelSpec, PublishSpec
+from .mplbackend import have_matplotlib
+from .style import MODE_COLORS, STYLES, Style, series_color
+from .svgbackend import render_figure_svg
+from .tracedigest import TraceDigest, digest_trace
+
+__all__ = [
+    "Badge",
+    "Bar",
+    "FigureArtifact",
+    "PanelData",
+    "Series",
+    "build_figure_artifact",
+    "PUBLISH_SPECS",
+    "PanelSpec",
+    "PublishSpec",
+    "have_matplotlib",
+    "MODE_COLORS",
+    "STYLES",
+    "Style",
+    "series_color",
+    "render_figure_svg",
+    "TraceDigest",
+    "digest_trace",
+]

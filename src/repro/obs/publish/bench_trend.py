@@ -1,0 +1,89 @@
+"""Bench-history trend view: throughput per benchmark over commits.
+
+``repro bench`` appends one provenance-stamped row per run to the
+committed ``bench_history.jsonl`` (see :mod:`repro.obs.bench`).  This
+module turns those rows into a :class:`FigureArtifact` — one line per
+benchmark of ``events_per_wall_s`` over run index, with short git shas
+as tick labels — so regressions are visible as a dip in the chart
+rather than a diff in a JSON file.
+"""
+
+from __future__ import annotations
+
+from ..bench import load_history
+from .figdata import FigureArtifact, PanelData, Series
+from .style import series_color
+
+__all__ = ["trend_artifact", "trend_from_history_file"]
+
+
+def _short_sha(row: dict) -> str:
+    sha = str(row.get("git_sha", "") or "unknown")
+    return sha[:8] if sha != "unknown" else sha
+
+
+def trend_artifact(rows: list[dict]) -> FigureArtifact:
+    """Build the trend figure from parsed history rows.
+
+    Rows are plotted in file order (append-only history is already
+    chronological); benchmarks are sorted by name so colors are stable
+    across regenerations.
+    """
+    names: list[str] = sorted(
+        {
+            name
+            for row in rows
+            for name in row.get("benchmarks", {})
+        }
+    )
+    panel = PanelData(
+        ylabel="events / wall second",
+        xlabel="bench run (git sha)",
+        xticklabels=[_short_sha(row) for row in rows],
+    )
+    for i, name in enumerate(names):
+        points: list[tuple[float, float]] = []
+        for x, row in enumerate(rows):
+            bench = row.get("benchmarks", {}).get(name)
+            if not isinstance(bench, dict):
+                continue
+            rate = bench.get("events_per_wall_s")
+            if isinstance(rate, (int, float)) and not isinstance(
+                rate, bool
+            ):
+                points.append((float(x), float(rate)))
+        if points:
+            panel.series.append(
+                Series(
+                    label=name,
+                    points=points,
+                    color=series_color(name, i),
+                )
+            )
+    scales = sorted(
+        {str(row.get("scale", "?")) for row in rows}
+    )
+    footnote = (
+        f"{len(rows)} bench runs; scale(s): {', '.join(scales)}; "
+        "simulated-clock event throughput (higher is better)"
+    )
+    return FigureArtifact(
+        name="bench_trend",
+        figure_id="Bench trend",
+        title="events/s per benchmark across committed bench runs",
+        panels=[panel],
+        footnote=footnote,
+    )
+
+
+def trend_from_history_file(path: str) -> FigureArtifact | None:
+    """Load ``bench_history.jsonl`` and build the trend figure.
+
+    Returns ``None`` when the history has no usable rows (fresh
+    checkout without the seed file) so the caller can skip the section
+    instead of rendering an empty chart.
+    """
+    rows = load_history(path)
+    if not rows:
+        return None
+    return trend_artifact(rows)

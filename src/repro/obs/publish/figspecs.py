@@ -1,0 +1,141 @@
+"""What each published figure plots: panel layouts per CLI figure key.
+
+The report document carries every reproduced table; a ``PublishSpec``
+says which columns become panels, what the x axis means, and whether
+the figure is a sweep (lines over x) or a single-x mode comparison
+(bars per mode, like the Fig 12 ablation).  The specs are data, so the
+renderers stay generic and a new figure costs one entry here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PanelSpec", "PublishSpec", "PUBLISH_SPECS"]
+
+
+@dataclass(frozen=True)
+class PanelSpec:
+    """One panel: a y column from the figure's table."""
+
+    y: str  # column header in the figure's table
+    ylabel: str
+    logy: bool = False
+
+
+@dataclass(frozen=True)
+class PublishSpec:
+    """How one figure renders: axes, panels, and series source."""
+
+    figure: str  # CLI figure key ("fig2", ...)
+    xlabel: str
+    panels: tuple[PanelSpec, ...]
+    logx: bool = False
+    # Single-x figures (Fig 12): one bar per mode instead of lines.
+    bars_by_mode: bool = False
+    # Mode-less figures (the model fit): named columns become series,
+    # with x taken from the first table column.
+    column_series: tuple[str, ...] = field(default_factory=tuple)
+    # Columns plotted as paper-reference series (dashed) rather than
+    # as our curves; only meaningful with ``column_series``.
+    reference_columns: tuple[str, ...] = field(default_factory=tuple)
+
+
+_GBPS = PanelSpec("gbps", "throughput (Gbps)")
+
+PUBLISH_SPECS: dict[str, PublishSpec] = {
+    "fig2": PublishSpec(
+        figure="fig2",
+        xlabel="iperf flows",
+        panels=(
+            _GBPS,
+            PanelSpec("iotlb/pg", "IOTLB misses / page"),
+            PanelSpec("m3/pg", "PTcache L3 misses / page"),
+        ),
+    ),
+    "fig3": PublishSpec(
+        figure="fig3",
+        xlabel="Rx ring size (descriptors)",
+        logx=True,
+        panels=(
+            _GBPS,
+            PanelSpec("iotlb/pg", "IOTLB misses / page"),
+            PanelSpec("m3/pg", "PTcache L3 misses / page"),
+        ),
+    ),
+    "model": PublishSpec(
+        figure="model",
+        xlabel="iperf flows",
+        panels=(PanelSpec("gbps", "throughput (Gbps)"),),
+        column_series=("measured_gbps", "refit_model_gbps"),
+        reference_columns=("paper_model_gbps",),
+    ),
+    "fig7": PublishSpec(
+        figure="fig7",
+        xlabel="iperf flows",
+        panels=(
+            _GBPS,
+            PanelSpec("iotlb/pg", "IOTLB misses / page"),
+            PanelSpec("m3/pg", "PTcache L3 misses / page"),
+        ),
+    ),
+    "fig8": PublishSpec(
+        figure="fig8",
+        xlabel="Rx ring size (descriptors)",
+        logx=True,
+        panels=(
+            _GBPS,
+            PanelSpec("m3/pg", "PTcache L3 misses / page"),
+        ),
+    ),
+    "fig9": PublishSpec(
+        figure="fig9",
+        xlabel="RPC size (bytes)",
+        logx=True,
+        panels=(
+            PanelSpec("p99", "RPC p99 latency (us)", logy=True),
+            PanelSpec("p99.9", "RPC p99.9 latency (us)", logy=True),
+        ),
+    ),
+    "fig10": PublishSpec(
+        figure="fig10",
+        xlabel="cores per direction",
+        panels=(
+            PanelSpec("rx_gbps", "Rx throughput (Gbps)"),
+            PanelSpec("tx_gbps", "Tx throughput (Gbps)"),
+        ),
+    ),
+    "fig11a": PublishSpec(
+        figure="fig11a",
+        xlabel="Redis value size (bytes)",
+        logx=True,
+        panels=(
+            _GBPS,
+            PanelSpec("iotlb/pg", "IOTLB misses / page"),
+        ),
+    ),
+    "fig11b": PublishSpec(
+        figure="fig11b",
+        xlabel="Nginx page size (bytes)",
+        logx=True,
+        panels=(_GBPS,),
+    ),
+    "fig11c": PublishSpec(
+        figure="fig11c",
+        xlabel="SPDK block size (bytes)",
+        logx=True,
+        panels=(
+            _GBPS,
+            PanelSpec("iotlb/pg", "IOTLB misses / page"),
+        ),
+    ),
+    "fig12": PublishSpec(
+        figure="fig12",
+        xlabel="configuration",
+        bars_by_mode=True,
+        panels=(
+            _GBPS,
+            PanelSpec("l3/pg", "PTcache L3 misses / page"),
+        ),
+    ),
+}

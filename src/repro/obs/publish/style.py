@@ -1,0 +1,109 @@
+"""Publication styles and the shared chart palette.
+
+One place for everything visual, so the matplotlib backend and the
+dependency-free SVG backend render the *same* design: series colors
+follow the protection mode (the entity), never the draw order; paper
+reference curves reuse the mode's hue dashed, so "ours vs paper" is
+carried by line style while identity stays with color; pass/fail
+badges use the reserved status colors and always pair a glyph with the
+color so state is never color-alone.
+
+The categorical palette is the validated default order (adjacent-pair
+colorblind separation ΔE >= 8, normal-vision >= 15 on a light
+surface); sub-3:1-contrast slots are relieved by the HTML index's
+claim tables and per-series direct labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Style",
+    "STYLES",
+    "MODE_COLORS",
+    "EXTRA_COLORS",
+    "PASS_COLOR",
+    "FAIL_COLOR",
+    "SKIP_COLOR",
+    "WARN_COLOR",
+    "SURFACE",
+    "TEXT",
+    "TEXT_MUTED",
+    "GRID",
+    "series_color",
+]
+
+
+@dataclass(frozen=True)
+class Style:
+    """One publication style: sizing and typography parameters."""
+
+    name: str
+    panel_width: float  # inches per panel (matplotlib)
+    panel_height: float
+    font_size: int
+    save_dpi: int
+    font_family: str  # "serif" | "sans-serif"
+
+
+STYLES: dict[str, Style] = {
+    "paper": Style(
+        name="paper",
+        panel_width=3.2,
+        panel_height=2.6,
+        font_size=11,
+        save_dpi=300,
+        font_family="serif",
+    ),
+    "arxiv": Style(
+        name="arxiv",
+        panel_width=3.0,
+        panel_height=2.4,
+        font_size=10,
+        save_dpi=300,
+        font_family="serif",
+    ),
+}
+
+# Categorical slots in validated fixed order; a protection mode keeps
+# its slot in every figure (color follows the entity).
+MODE_COLORS: dict[str, str] = {
+    "off": "#2a78d6",  # blue
+    "strict": "#eb6834",  # orange
+    "fns": "#1baf7a",  # aqua
+    "linux+A": "#eda100",  # yellow
+    "linux+B": "#e87ba4",  # magenta
+}
+
+# Remaining validated slots for series outside the mode vocabulary
+# (bench trend lines, model columns); assigned by stable sorted order.
+EXTRA_COLORS: tuple[str, ...] = (
+    "#2a78d6",
+    "#eb6834",
+    "#1baf7a",
+    "#eda100",
+    "#e87ba4",
+    "#008300",
+    "#4a3aa7",
+    "#e34948",
+)
+
+# Status colors (reserved; never used for a data series).
+PASS_COLOR = "#0ca30c"
+FAIL_COLOR = "#d03b3b"
+WARN_COLOR = "#ec835a"
+SKIP_COLOR = "#52514e"
+
+SURFACE = "#fcfcfb"
+TEXT = "#0b0b0b"
+TEXT_MUTED = "#52514e"
+GRID = "#e7e6e2"
+
+
+def series_color(label: str, index: int) -> str:
+    """The color for a series: its mode's slot, else a stable extra."""
+    color = MODE_COLORS.get(label)
+    if color is not None:
+        return color
+    return EXTRA_COLORS[index % len(EXTRA_COLORS)]

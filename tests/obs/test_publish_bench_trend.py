@@ -1,0 +1,104 @@
+"""Bench-history trend: rows -> chart data; history round-trips."""
+
+import json
+
+from repro.obs import bench
+from repro.obs.publish.bench_trend import (
+    trend_artifact,
+    trend_from_history_file,
+)
+
+
+def test_trend_from_synthetic_history(make_history):
+    path = make_history(n_rows=3)
+    artifact = trend_from_history_file(str(path))
+    assert artifact is not None
+    (panel,) = artifact.panels
+    assert [s.label for s in panel.series] == [
+        "iperf_off", "sweep_serial",
+    ]
+    for series in panel.series:
+        assert [x for x, _ in series.points] == [0.0, 1.0, 2.0]
+        rates = [y for _, y in series.points]
+        assert rates == sorted(rates)  # synthetic history improves
+    assert panel.xticklabels is not None
+    assert len(panel.xticklabels) == 3
+    assert all(len(tick) == 8 for tick in panel.xticklabels)
+    assert "3 bench runs" in artifact.footnote
+
+
+def test_trend_missing_file_returns_none(tmp_path):
+    assert trend_from_history_file(str(tmp_path / "nope.jsonl")) is None
+
+
+def test_trend_skips_malformed_lines(make_history):
+    path = make_history(n_rows=2)
+    with open(path, "a") as handle:
+        handle.write("not json at all\n")
+        handle.write(json.dumps({"schema": "wrong/1"}) + "\n")
+    artifact = trend_from_history_file(str(path))
+    assert artifact is not None
+    assert len(artifact.panels[0].xticklabels) == 2
+
+
+def test_trend_benchmark_missing_in_one_row(make_history):
+    path = make_history(n_rows=2)
+    rows = bench.load_history(str(path))
+    del rows[0]["benchmarks"]["sweep_serial"]
+    artifact = trend_artifact(rows)
+    sweep = next(
+        s
+        for s in artifact.panels[0].series
+        if s.label == "sweep_serial"
+    )
+    assert [x for x, _ in sweep.points] == [1.0]  # only row 2
+
+
+def test_history_row_roundtrip(tmp_path):
+    doc = {
+        "schema": bench.SCHEMA,
+        "provenance": {
+            "git_sha": "a" * 40,
+            "utc": "2026-08-08T00:00:00Z",
+            "scale": "quick",
+        },
+        "benchmarks": [
+            {
+                "name": "iperf_off",
+                "events_per_wall_s": 1000.0,
+                "events": 10,
+                "wall_s": 0.01,
+            }
+        ],
+        "total_wall_s": 0.01,
+    }
+    path = tmp_path / "hist.jsonl"
+    row = bench.append_history(doc, str(path))
+    assert row["schema"] == bench.HISTORY_SCHEMA
+    assert row["git_sha"] == "a" * 40
+    loaded = bench.load_history(str(path))
+    assert loaded == [row]
+    # Appends accumulate (the committed file is append-only).
+    bench.append_history(doc, str(path))
+    assert len(bench.load_history(str(path))) == 2
+
+
+def test_history_row_without_provenance_is_anchored_unknown():
+    row = bench.history_row({"benchmarks": [], "total_wall_s": 0.0})
+    assert row["git_sha"] == "unknown"
+    assert row["benchmarks"] == {}
+
+
+def test_committed_history_has_two_parsable_rows():
+    # The repo ships a seeded history (the acceptance gallery needs
+    # a trend covering >= 2 runs); keep it parsable.
+    import pathlib
+
+    committed = (
+        pathlib.Path(__file__).resolve().parents[2]
+        / "bench_history.jsonl"
+    )
+    rows = bench.load_history(str(committed))
+    assert len(rows) >= 2
+    artifact = trend_artifact(rows)
+    assert artifact.panels[0].series

@@ -1,0 +1,170 @@
+"""``repro publish`` end to end: exit codes, outputs, the index."""
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.obs import SpanTracer
+from repro.obs.publish import cli as publish_cli
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    tracer = SpanTracer()
+    for i in range(5):
+        tracer.complete(
+            "dma_map", "rx", start_ns=i * 1_000, duration_ns=400
+        )
+    path = tmp_path / "trace.json"
+    tracer.write(str(path))
+    return path
+
+
+def publish(tmp_path, make_report, trace_file, *extra):
+    """Run publish from a fixture report + trace; returns (code, out)."""
+    report = make_report()
+    outdir = tmp_path / "out"
+    argv = [
+        str(outdir),
+        "--from-report", str(report),
+        "--trace", str(trace_file),
+        "--figures", "fig2,fig12",
+        *extra,
+    ]
+    return publish_cli.main(argv), outdir
+
+
+def test_publish_produces_gallery(tmp_path, make_report, trace_file):
+    code, outdir = publish(tmp_path, make_report, trace_file)
+    assert code == 0
+    for name in (
+        "index.html", "report.json", "fig2.svg", "fig12.svg",
+        "trace_digest.svg", "trace_digest.json",
+    ):
+        assert (outdir / name).stat().st_size > 0, name
+    page = (outdir / "index.html").read_text()
+    assert "fig2.svg" in page
+    assert "fig12.svg" in page
+    assert "report.json" in page
+    assert "feedc0ffee00" in page  # provenance sha surfaced
+    digest = json.loads((outdir / "trace_digest.json").read_text())
+    assert digest["schema"] == "repro.trace-digest/1"
+    assert digest["span_count"] == 5
+
+
+def test_publish_bench_trend_section(
+    tmp_path, make_report, trace_file, make_history
+):
+    history = make_history(n_rows=3)
+    code, outdir = publish(
+        tmp_path, make_report, trace_file, "--history", str(history)
+    )
+    assert code == 0
+    assert (outdir / "bench_trend.svg").stat().st_size > 0
+    assert "3 committed bench runs" in (
+        outdir / "index.html"
+    ).read_text()
+
+
+def test_publish_without_history_skips_trend(
+    tmp_path, make_report, trace_file
+):
+    code, outdir = publish(
+        tmp_path, make_report, trace_file,
+        "--history", str(tmp_path / "missing.jsonl"),
+    )
+    assert code == 0
+    assert not (outdir / "bench_trend.svg").exists()
+    assert "no bench history" in (outdir / "index.html").read_text()
+
+
+def test_unknown_figure_exits_2(tmp_path, make_report, capsys):
+    code = publish_cli.main(
+        [str(tmp_path / "out"), "--figures", "fig99",
+         "--from-report", str(make_report())]
+    )
+    assert code == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_bad_report_exits_2(tmp_path, capsys):
+    bad = tmp_path / "report.json"
+    bad.write_text(json.dumps({"schema": "nope/9"}))
+    code = publish_cli.main(
+        [str(tmp_path / "out"), "--from-report", str(bad)]
+    )
+    assert code == 2
+    assert "schema" in capsys.readouterr().err
+
+
+def test_png_without_matplotlib_exits_2(
+    tmp_path, make_report, monkeypatch, capsys
+):
+    monkeypatch.setattr(
+        publish_cli, "have_matplotlib", lambda: False
+    )
+    code = publish_cli.main(
+        [str(tmp_path / "out"), "--format", "png",
+         "--from-report", str(make_report())]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "pip install 'repro[publish]'" in err
+    assert not (tmp_path / "out").exists()  # bailed before writing
+
+
+def test_png_with_matplotlib(tmp_path, make_report, trace_file):
+    pytest.importorskip("matplotlib")
+    code, outdir = publish(
+        tmp_path, make_report, trace_file, "--format", "png"
+    )
+    assert code == 0
+    assert (outdir / "fig2.png").stat().st_size > 0
+    assert (outdir / "trace_digest.png").stat().st_size > 0
+
+
+def test_figure_missing_from_report_is_skipped(
+    tmp_path, make_report, trace_file, capsys
+):
+    report = make_report(figures=("fig2",))
+    outdir = tmp_path / "out"
+    code = publish_cli.main(
+        [str(outdir), "--from-report", str(report),
+         "--trace", str(trace_file), "--figures", "fig2,fig9"]
+    )
+    assert code == 0
+    assert (outdir / "fig2.svg").exists()
+    assert not (outdir / "fig9.svg").exists()
+    assert "fig9" in capsys.readouterr().out
+
+
+def test_report_json_is_copied_verbatim_content(
+    tmp_path, make_report, trace_file
+):
+    code, outdir = publish(tmp_path, make_report, trace_file)
+    assert code == 0
+    original = json.loads(make_report().read_text())
+    published = json.loads((outdir / "report.json").read_text())
+    assert published == original
+
+
+def test_repro_cli_dispatches_publish(
+    tmp_path, make_report, trace_file
+):
+    outdir = tmp_path / "via-main"
+    code = repro_main(
+        ["publish", str(outdir), "--from-report", str(make_report()),
+         "--trace", str(trace_file), "--figures", "fig2"]
+    )
+    assert code == 0
+    assert (outdir / "index.html").exists()
+
+
+def test_publish_help_mentions_formats(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        publish_cli.main(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "--format" in out
+    assert "svg" in out

@@ -1,0 +1,120 @@
+"""Figure-artifact construction: sections + specs -> renderable data."""
+
+import pytest
+
+from repro.obs.expectations import SPECS, reference_curves
+from repro.obs.publish.figdata import build_figure_artifact
+from repro.obs.publish.figspecs import PUBLISH_SPECS
+from repro.obs.publish.style import MODE_COLORS, series_color
+
+
+def test_every_expectation_spec_has_a_publish_spec():
+    # Every gated figure must publish; a new expectations module
+    # without a PUBLISH_SPECS entry would silently drop a figure
+    # from the gallery.
+    assert set(PUBLISH_SPECS) == set(SPECS)
+
+
+@pytest.mark.parametrize("figure", sorted(PUBLISH_SPECS))
+def test_artifact_panel_count_matches_spec(figure, make_section):
+    spec = PUBLISH_SPECS[figure]
+    artifact = build_figure_artifact(make_section(figure), spec)
+    assert artifact.name == figure
+    assert len(artifact.panels) == len(spec.panels)
+    for panel, panel_spec in zip(artifact.panels, spec.panels):
+        assert panel.ylabel == panel_spec.ylabel
+        if spec.bars_by_mode:
+            assert panel.kind == "bars"
+            assert len(panel.bars) == 3  # one per synthetic mode
+        else:
+            assert panel.kind == "lines"
+            assert panel.series, f"{figure} panel has no series"
+
+
+def test_line_panel_series_ours_plus_paper(make_section):
+    artifact = build_figure_artifact(
+        make_section("fig2"), PUBLISH_SPECS["fig2"]
+    )
+    gbps = artifact.panels[0]
+    ours = [s for s in gbps.series if s.kind == "ours"]
+    paper = [s for s in gbps.series if s.kind == "paper"]
+    assert [s.label for s in ours] == ["off", "strict"]
+    assert len(paper) == len(reference_curves("fig2")["gbps"])
+    # Paper overlays reuse the mode's hue (identity by color, ours
+    # vs paper by line style).
+    by_label = {s.label: s.color for s in gbps.series}
+    assert by_label["off (paper)"] == by_label["off"]
+    assert all(len(s.points) == 3 for s in ours)
+
+
+def test_column_series_model_figure(make_section):
+    artifact = build_figure_artifact(
+        make_section("model"), PUBLISH_SPECS["model"]
+    )
+    (panel,) = artifact.panels
+    labels = [s.label for s in panel.series]
+    assert labels == [
+        "measured", "refit_model", "paper_model (paper)",
+    ]
+    kinds = {s.label: s.kind for s in panel.series}
+    assert kinds["paper_model (paper)"] == "paper"
+
+
+def test_bars_panel_refs_from_paper_curves(make_section):
+    artifact = build_figure_artifact(
+        make_section("fig12"), PUBLISH_SPECS["fig12"]
+    )
+    gbps = artifact.panels[0]
+    by_label = {bar.label: bar for bar in gbps.bars}
+    refs = reference_curves("fig12")["gbps"]
+    for mode, points in refs.items():
+        if mode in by_label:
+            assert by_label[mode].ref == points[0][1]
+    assert by_label["off"].color == MODE_COLORS["off"]
+
+
+def test_badges_and_truncation_carried_through(make_section):
+    section = make_section("fig2")
+    section["truncated_phases"] = ["fig2 off flows=5"]
+    artifact = build_figure_artifact(section, PUBLISH_SPECS["fig2"])
+    assert artifact.badge_counts() == {"pass": 1, "fail": 1, "skip": 1}
+    symbols = sorted(b.symbol for b in artifact.badges)
+    assert symbols == sorted(["✓", "✗", "–"])
+    assert artifact.truncated == ["fig2 off flows=5"]
+
+
+def test_non_numeric_cells_are_skipped(make_section):
+    section = make_section("fig2")
+    section["rows"][0][2] = True  # bool must not count as a number
+    section["rows"][1][2] = "n/a"
+    artifact = build_figure_artifact(section, PUBLISH_SPECS["fig2"])
+    off = next(
+        s for s in artifact.panels[0].series if s.label == "off"
+    )
+    assert len(off.points) == 1  # two of three cells rejected
+
+
+def test_missing_column_yields_empty_panel(make_section):
+    section = make_section("fig2")
+    section["headers"] = ["mode", "x", "other"]
+    artifact = build_figure_artifact(section, PUBLISH_SPECS["fig2"])
+    assert all(not panel.series for panel in artifact.panels)
+
+
+def test_series_color_stability():
+    # A mode keeps its slot; unknown labels get stable extras.
+    assert series_color("off", 3) == MODE_COLORS["off"]
+    assert series_color("zzz", 1) == series_color("zzz", 1)
+    assert series_color("zzz", 0) != series_color("zzz", 1)
+
+
+@pytest.mark.parametrize("figure", sorted(PUBLISH_SPECS))
+def test_reference_curves_columns_exist_in_spec(figure):
+    # Paper overlay columns must be plottable: each PAPER_CURVES key
+    # must be a panel column of the figure's publish spec.
+    spec = PUBLISH_SPECS[figure]
+    panel_columns = {p.y for p in spec.panels}
+    for column in reference_curves(figure):
+        assert column in panel_columns, (
+            f"{figure}: PAPER_CURVES column {column!r} has no panel"
+        )
