@@ -1,0 +1,176 @@
+"""Code fingerprints: which source bytes determine a cell's output.
+
+A cache entry must die when the code that produced it changes.  The
+fingerprint of a point runner is a SHA-256 over the *contents* of the
+transitive source closure of its module — every ``repro`` file the
+runner's module reaches through static ``import`` statements.  Hashing
+file contents (not git state) means a dirty worktree invalidates
+exactly as an edit lands on disk: there is no window where a stale
+cache can mask an uncommitted change.
+
+The closure is computed by parsing ``import``/``from ... import``
+statements with :mod:`ast` — no module execution, no dependence on
+what happens to be in ``sys.modules`` — and resolving them to files
+under the installed ``repro`` package.  Anything that fails to resolve
+(or any IO/parse error) falls back to :func:`tree_fingerprint`, a
+digest of the whole package tree: conservative, never stale.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = [
+    "runner_fingerprint",
+    "module_closure",
+    "tree_fingerprint",
+    "clear_fingerprint_cache",
+]
+
+_PACKAGE = "repro"
+
+# Per-process memoization: the closure walk reads every file it hashes,
+# and a sweep asks for the same runner's fingerprint once per cell.
+_FINGERPRINTS: dict[str, str] = {}
+_TREE_FINGERPRINT: Optional[str] = None
+
+
+def clear_fingerprint_cache() -> None:
+    """Drop memoized fingerprints (tests that edit source trees)."""
+    global _TREE_FINGERPRINT
+    _FINGERPRINTS.clear()
+    _TREE_FINGERPRINT = None
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _module_file(root: Path, dotted: str) -> Optional[Path]:
+    """The file for ``repro.x.y`` under ``root``, or ``None``."""
+    parts = dotted.split(".")
+    if parts[0] != _PACKAGE:
+        return None
+    rel = parts[1:]
+    candidate = root.joinpath(*rel).with_suffix(".py") if rel else None
+    if candidate is not None and candidate.is_file():
+        return candidate
+    package = root.joinpath(*rel, "__init__.py")
+    if package.is_file():
+        return package
+    return None
+
+
+def _absolute_name(module_name: str, node: ast.ImportFrom) -> Optional[str]:
+    """Resolve a (possibly relative) ``from`` import to a dotted name."""
+    if node.level == 0:
+        return node.module
+    # ``module_name`` is the importing module; its package is the name
+    # minus the final component (or itself for an ``__init__``; the
+    # distinction only matters one level up, and over-approximating by
+    # one package is harmless for a closure).
+    base = module_name.split(".")
+    base = base[: len(base) - node.level]
+    if not base:
+        return None
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+def _imported_names(
+    module_name: str, tree: ast.AST
+) -> Iterable[str]:
+    """Every dotted module name a module's source mentions importing.
+
+    ``from repro.x import y`` yields both ``repro.x`` and ``repro.x.y``
+    — ``y`` may itself be a module, and resolving both costs only a
+    pair of ``is_file`` probes.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            resolved = _absolute_name(module_name, node)
+            if resolved is None:
+                continue
+            yield resolved
+            for alias in node.names:
+                yield f"{resolved}.{alias.name}"
+
+
+def module_closure(module_name: str) -> list[Path]:
+    """The transitive in-package source files reachable from a module.
+
+    Raises on unreadable/unparseable sources so callers can fall back
+    to the whole-tree digest rather than fingerprint a partial view.
+    """
+    root = _package_root()
+    start = _module_file(root, module_name)
+    if start is None:
+        raise FileNotFoundError(module_name)
+    seen: dict[Path, str] = {start: module_name}
+    queue = [(module_name, start)]
+    while queue:
+        name, path = queue.pop()
+        tree = ast.parse(path.read_bytes(), filename=str(path))
+        for dotted in _imported_names(name, tree):
+            target = _module_file(root, dotted)
+            if target is None or target in seen:
+                continue
+            seen[target] = dotted
+            queue.append((dotted, target))
+    return sorted(seen)
+
+
+def _digest_files(root: Path, files: Iterable[Path]) -> str:
+    digest = hashlib.sha256()
+    for path in files:
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def tree_fingerprint() -> str:
+    """SHA-256 over every ``.py`` file of the installed package tree."""
+    global _TREE_FINGERPRINT
+    if _TREE_FINGERPRINT is None:
+        root = _package_root()
+        files = sorted(
+            p for p in root.rglob("*.py") if "__pycache__" not in p.parts
+        )
+        _TREE_FINGERPRINT = _digest_files(root, files)
+    return _TREE_FINGERPRINT
+
+
+def runner_fingerprint(runner_key: str) -> str:
+    """The code fingerprint for one registered point runner.
+
+    The closure starts at the module that *defines* the registered
+    callable.  Runners registered from outside the ``repro`` package
+    (tests register scratch runners) have no resolvable closure and get
+    the conservative whole-tree digest.
+    """
+    cached = _FINGERPRINTS.get(runner_key)
+    if cached is not None:
+        return cached
+    from ..experiments.points import POINT_RUNNERS
+
+    runner = POINT_RUNNERS.get(runner_key)
+    module_name = getattr(runner, "__module__", None) or ""
+    try:
+        files = module_closure(module_name)
+        root = _package_root()
+        value = _digest_files(root, files)
+    except (OSError, SyntaxError, ValueError):
+        value = tree_fingerprint()
+    _FINGERPRINTS[runner_key] = value
+    return value

@@ -1,0 +1,79 @@
+"""Global result-cache registration: how the sweep executor finds it.
+
+Same pattern as :mod:`repro.obs.hooks` and :mod:`repro.verify.hooks`:
+:func:`repro.parallel.run_points` reads :func:`current_result_cache`
+once per sweep; with no cache installed the lookup costs one global
+read and a comparison, so un-cached runs are unaffected.
+
+:func:`cache_keyed` adds context to every key computed inside its
+block — ``repro reproduce`` wraps each figure's sweep in the figure's
+expectation-spec digest parts, so editing a spec invalidates exactly
+that figure's cells.
+
+This module is a leaf: it must not import the store (or anything else
+from ``repro``) so the executor can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .store import ResultCache
+
+__all__ = [
+    "current_result_cache",
+    "set_result_cache",
+    "result_cached",
+    "cache_keyed",
+]
+
+_CACHE: Optional["ResultCache"] = None
+
+
+def current_result_cache() -> Optional["ResultCache"]:
+    """The globally installed result cache, or ``None`` (the default)."""
+    return _CACHE
+
+
+def set_result_cache(cache: Optional["ResultCache"]) -> None:
+    """Install ``cache`` globally; sweeps consult it before dispatch."""
+    global _CACHE
+    _CACHE = cache
+
+
+@contextlib.contextmanager
+def result_cached(
+    cache: Optional["ResultCache"],
+) -> Iterator[Optional["ResultCache"]]:
+    """Install ``cache`` for the duration of a ``with`` block.
+
+    ``None`` is accepted and installs nothing, so callers can thread an
+    optional cache without branching.
+    """
+    previous = current_result_cache()
+    set_result_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_result_cache(previous)
+
+
+@contextlib.contextmanager
+def cache_keyed(parts: Sequence[str]) -> Iterator[None]:
+    """Mix ``parts`` into every cache key computed inside the block.
+
+    A no-op when no cache is installed.  Nesting replaces (not stacks)
+    the context: each figure's sweep runs under its own spec digest.
+    """
+    cache = current_result_cache()
+    if cache is None:
+        yield
+        return
+    previous = cache.key_context
+    cache.key_context = tuple(parts)
+    try:
+        yield
+    finally:
+        cache.key_context = previous

@@ -23,6 +23,9 @@ Usage::
     python -m repro reproduce --figures fig2,fig7 --jobs 4
     python -m repro diff old.json new.json   # regression gate (report or bench)
     python -m repro profile fig2         # cProfile hotspots for one figure
+    python -m repro serve --port 8080    # long-running reproduce daemon
+    python -m repro cache stats          # result-cache operability
+    python -m repro cache gc --max-bytes 268435456
 
 Each command prints the reproduced table (the same rows the paper's
 figure plots) and exits 0.  ``--jobs N`` fans a figure's independent
@@ -37,6 +40,11 @@ document plus (optionally) a Chrome-trace file loadable in Perfetto.
 (:mod:`repro.obs.expect`) and regenerates ``REPORT.md``/``report.json``,
 exiting nonzero on any violated claim; ``diff`` compares two generated
 ``report.json``/``BENCH_sim.json`` documents and fails on regressions.
+``reproduce`` consults the content-addressed result cache
+(:mod:`repro.cache`; default ``.repro-cache/``, see ``--cache-dir`` /
+``--no-cache``), so unchanged cells are served from the store; ``serve``
+runs the long-lived reproduce daemon (:mod:`repro.serve`) and ``cache``
+exposes store operability (``stats``/``gc``/``clear``).
 """
 
 from __future__ import annotations
@@ -64,6 +72,7 @@ from .experiments import (
     fig12_ablation,
     model_fit,
 )
+from .cache.hooks import result_cached
 from .faults import FaultPlan, faulted
 from .obs import MetricsRegistry, SpanTracer, observed
 from .parallel import RemotePointError
@@ -148,6 +157,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_jobs_argument(parser)
+    _add_cache_arguments(parser, default_on=False)
     return parser
 
 
@@ -217,6 +227,7 @@ def _build_report_parser() -> argparse.ArgumentParser:
         help="fault-plan seed (only used by the 'faults' figure)",
     )
     _add_jobs_argument(parser)
+    _add_cache_arguments(parser, default_on=False)
     return parser
 
 
@@ -323,7 +334,49 @@ def _build_reproduce_parser() -> argparse.ArgumentParser:
         help="run seed recorded in the provenance manifest",
     )
     _add_jobs_argument(parser)
+    _add_cache_arguments(parser, default_on=True)
     return parser
+
+
+def _add_cache_arguments(
+    parser: argparse.ArgumentParser, default_on: bool
+) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "content-addressed result cache directory (default: "
+            "$REPRO_CACHE_DIR or .repro-cache)"
+        ),
+    )
+    if default_on:
+        parser.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the result cache for this run",
+        )
+    else:
+        parser.add_argument(
+            "--cache",
+            action="store_true",
+            help=(
+                "serve unchanged sweep cells from the content-addressed "
+                "result cache (repro.cache) and store computed ones"
+            ),
+        )
+
+
+def _cache_from_args(args: argparse.Namespace, default_on: bool):
+    """The ResultCache an invocation asked for, or ``None``."""
+    from .cache.store import ResultCache
+
+    if default_on:
+        if getattr(args, "no_cache", False):
+            return None
+    elif not getattr(args, "cache", False):
+        return None
+    return ResultCache(args.cache_dir)
 
 
 def _build_profile_parser() -> argparse.ArgumentParser:
@@ -538,6 +591,7 @@ def _run_reproduce(raw: list[str]) -> int:
             chunk=args.chunk,
             report_path=args.out,
             json_path=args.json,
+            cache=_cache_from_args(args, default_on=True),
         )
     except RemotePointError as error:
         print(f"{error.label}: WORKER FAILURE", file=sys.stderr)
@@ -646,14 +700,18 @@ def _run_report(raw: list[str]) -> int:
     # Spans cannot merge across processes, so a multi-job report keeps
     # the metrics registry (phases are adopted from workers) but skips
     # the tracer; a tracer would force run_points serial anyway.
+    # A cached report keeps the metrics registry too (phases are
+    # adopted from the store like worker payloads), but has no spans
+    # to serve, so --cache implies the no-tracer path as --jobs does.
+    cache = _cache_from_args(args, default_on=False)
     parallel = args.jobs is not None and args.jobs > 1
     registry = MetricsRegistry(
-        tracer=None if parallel else SpanTracer(),
+        tracer=None if parallel or cache is not None else SpanTracer(),
         sample_interval_ns=args.interval_ns,
     )
     runner, _description = FIGURES[args.figure]
     try:
-        with observed(registry):
+        with result_cached(cache), observed(registry):
             result = runner(
                 scale=scale, seed=args.seed, jobs=args.jobs,
                 chunk=args.chunk,
@@ -666,6 +724,8 @@ def _run_report(raw: list[str]) -> int:
     headers, rows = registry.summary_rows()
     print()
     print(format_table(headers, rows))
+    if cache is not None:
+        print(f"\ncache:   {cache.stats.summary()} ({cache.directory})")
     with open(metrics_path, "w") as handle:
         json.dump(registry.report(), handle, indent=2)
         handle.write("\n")
@@ -704,7 +764,7 @@ def _run_bench(raw: list[str]) -> int:
     history = None if args.no_history else args.history
     doc = bench.write_bench(
         args.out, full=args.full, jobs=args.jobs, chunk=args.chunk,
-        history_path=history,
+        history_path=None,
     )
     for point in doc["benchmarks"]:
         print(
@@ -720,7 +780,12 @@ def _run_bench(raw: list[str]) -> int:
         f"({provenance.get('scale', '?')} scale)"
     )
     if history is not None:
-        print(f"history: appended to {history}")
+        row = bench.append_history(doc, history)
+        if row is None:
+            print(f"history: unchanged ({history} already ends with "
+                  "this sha + numbers)")
+        else:
+            print(f"history: appended to {history}")
     return 0
 
 
@@ -759,6 +824,145 @@ def _run_profile(raw: list[str]) -> int:
     return 0
 
 
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the long-lived reproduce daemon: POST /api/reproduce "
+            "enqueues a run, identical in-flight configs are deduplicated "
+            "(a second request attaches to the first), and the shared "
+            "content-addressed result cache serves repeated configs from "
+            "the store."
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        metavar="N",
+        help="listen port; 0 picks a free one (default: 8321)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "result cache directory shared by all jobs (default: "
+            "$REPRO_CACHE_DIR or .repro-cache)"
+        ),
+    )
+    parser.add_argument(
+        "--workdir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "where job outputs (REPORT.md/report.json/log.txt) land "
+            "(default: a temporary directory removed on exit)"
+        ),
+    )
+    _add_jobs_argument(parser)
+    return parser
+
+
+def _run_serve(raw: list[str]) -> int:
+    from .serve.server import ReproServer
+
+    args = _build_serve_parser().parse_args(raw)
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        workdir=args.workdir,
+        jobs=args.jobs,
+    )
+    host, port = server.address
+    print(f"repro serve: listening on http://{host}:{port}")
+    print(f"cache: {server.cache.directory}")
+    print(f"workdir: {server.queue.workdir}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+    return 0
+
+
+def _build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description=(
+            "Operate on the content-addressed result cache: stats "
+            "(entries/bytes), gc (evict by age, then LRU down to a byte "
+            "budget), clear (drop everything)."
+        ),
+    )
+    parser.add_argument(
+        "action",
+        choices=("stats", "gc", "clear"),
+        help="what to do with the store",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "cache directory (default: $REPRO_CACHE_DIR or .repro-cache)"
+        ),
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gc: evict least-recently-used entries beyond N bytes "
+             "(default: 1 GiB)",
+    )
+    parser.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="gc: additionally evict entries older than D days",
+    )
+    return parser
+
+
+def _run_cache(raw: list[str]) -> int:
+    from .cache.store import DEFAULT_GC_MAX_BYTES, ResultCache
+
+    args = _build_cache_parser().parse_args(raw)
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        disk = cache.disk_stats()
+        print(f"cache:   {cache.directory}")
+        print(f"entries: {disk['entries']}")
+        print(f"bytes:   {disk['bytes']}")
+        return 0
+    if args.action == "clear":
+        result = cache.clear()
+        print(
+            f"cleared {result['evicted']} entries "
+            f"({result['freed_bytes']} bytes) from {cache.directory}"
+        )
+        return 0
+    budget = (
+        args.max_bytes if args.max_bytes is not None else DEFAULT_GC_MAX_BYTES
+    )
+    result = cache.gc(max_bytes=budget, max_age_days=args.max_age_days)
+    print(
+        f"gc: evicted {result['evicted']} entries "
+        f"({result['freed_bytes']} bytes freed, "
+        f"{result['remaining_bytes']} bytes remain) in {cache.directory}"
+    )
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     raw = list(sys.argv[1:]) if argv is None else list(argv)
     if raw and raw[0] == "lint":
@@ -777,6 +981,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_diff(raw[1:])
     if raw and raw[0] == "profile":
         return _run_profile(raw[1:])
+    if raw and raw[0] == "serve":
+        return _run_serve(raw[1:])
+    if raw and raw[0] == "cache":
+        return _run_cache(raw[1:])
     if raw and raw[0] == "publish":
         from .obs.publish.cli import main as publish_main
 
@@ -813,7 +1021,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         trace_ctx = observed(registry)
     else:
         trace_ctx = contextlib.nullcontext()
-    with trace_ctx:
+    # --cache serves unchanged sweep cells from the store.  run_points
+    # bypasses it by itself under a tracer/monitor/fault plan, so the
+    # combination with --trace or --verify degrades to a plain run.
+    cache = _cache_from_args(args, default_on=False)
+    with result_cached(cache), trace_ctx:
         for name in names:
             status = _run_figure(
                 name, scale, args.verify, args.out, seed=args.seed,
@@ -821,6 +1033,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             )
             if status:
                 return status
+    if cache is not None:
+        print(f"cache: {cache.stats.summary()} ({cache.directory})")
     if registry is not None:
         registry.tracer.write(args.trace)
         print(

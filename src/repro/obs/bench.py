@@ -149,12 +149,66 @@ def _run_sweep(
     }
 
 
+def _run_cache_sweep(full: bool) -> list[dict]:
+    """Time the sweep suite cold and warm through the result cache.
+
+    ``reproduce_cold`` runs the sweep against a fresh (empty) store in
+    a temporary directory — every cell computes and streams into the
+    cache — and ``reproduce_warm`` immediately reruns the identical
+    sweep so every cell is served from the store.  The events counters
+    are identical by construction (warm cells return the stored
+    values), which lets the bench diff require them to match exactly
+    while gating on the wall-clock ratio.
+    """
+    import tempfile
+
+    from ..cache.hooks import result_cached
+    from ..cache.store import ResultCache
+    from ..experiments.settings import FULL, QUICK
+    from ..parallel import run_points
+
+    scale = FULL if full else QUICK
+    specs = _sweep_specs(full)
+    sim_ns = len(specs) * (scale.warmup_ns + scale.measure_ns)
+    rows: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(tmp)
+        with result_cached(cache):
+            for name in ("reproduce_cold", "reproduce_warm"):
+                start = time.perf_counter()  # noqa: REPRO001
+                results = run_points(specs, scale)
+                wall_s = time.perf_counter() - start  # noqa: REPRO001
+                events = sum(
+                    r.extras["executed_events"] for r in results
+                )
+                rows.append({
+                    "name": name,
+                    "mode": "sweep",
+                    "flows": len(specs),
+                    "wall_s": wall_s,
+                    "sim_ns": sim_ns,
+                    "events": events,
+                    "events_per_wall_s": (
+                        events / wall_s if wall_s > 0 else 0.0
+                    ),
+                    "sim_ns_per_wall_s": (
+                        sim_ns / wall_s if wall_s > 0 else 0.0
+                    ),
+                })
+    return rows
+
+
 def run_bench(
     full: bool = False,
     jobs: Optional[int] = None,
     chunk: Optional[int] = None,
 ) -> dict:
     """Run every benchmark point and return the ``BENCH_sim.json`` doc.
+
+    Always includes the ``reproduce_cold``/``reproduce_warm`` pair —
+    the sweep suite through an empty result cache and again fully warm
+    — so the committed document records (and ``repro diff`` gates) the
+    cache's wall-clock win alongside raw simulator speed.
 
     With ``jobs > 1`` the sweep suite is timed three ways — serially,
     through the ``--jobs`` pool with the auto chunk size, and with an
@@ -180,6 +234,7 @@ def run_bench(
         benchmarks.append(
             _run_sweep(f"sweep_jobs{jobs}_chunked", jobs, full, chunk=3)
         )
+    benchmarks.extend(_run_cache_sweep(full))
     benchmarks.extend(_run_point(point) for point in bench_points(full))
     return {
         "schema": SCHEMA,
@@ -197,11 +252,12 @@ def _provenance(full: bool) -> dict:
     comparing and gives every ``bench_history.jsonl`` row an anchor.
     Wall-clock time is by design here (same as the timings themselves).
     """
-    from .expect.reproduce import _git_sha
+    from .expect.reproduce import _git_dirty, _git_sha
 
     stamp = datetime.now(timezone.utc)  # noqa: REPRO001
     return {
         "git_sha": _git_sha(),
+        "git_dirty": _git_dirty(),
         "utc": stamp.strftime("%Y-%m-%dT%H:%M:%SZ"),
         "scale": "full" if full else "quick",
     }
@@ -276,6 +332,7 @@ def history_row(doc: dict) -> dict:
     return {
         "schema": HISTORY_SCHEMA,
         "git_sha": provenance.get("git_sha", "unknown"),
+        "git_dirty": provenance.get("git_dirty"),
         "utc": provenance.get("utc", "unknown"),
         "scale": provenance.get("scale", "unknown"),
         "benchmarks": {
@@ -291,9 +348,31 @@ def history_row(doc: dict) -> dict:
     }
 
 
-def append_history(doc: dict, path: str) -> dict:
-    """Append one history row for ``doc``; returns the row."""
+def _same_trend_row(row: dict, last: dict) -> bool:
+    """Would appending ``row`` after ``last`` add any information?
+
+    True when the sha (plus dirty state) and every benchmark number
+    are identical — i.e. the exact same bench document appended twice
+    (a re-run CI job, a retried publish step).  The ``utc`` stamp is
+    deliberately ignored: it differs on every invocation and is the
+    only thing a duplicate row would contribute.
+    """
+    ignored = {"utc"}
+    keys = (set(row) | set(last)) - ignored
+    return all(row.get(key) == last.get(key) for key in keys)
+
+
+def append_history(doc: dict, path: str) -> Optional[dict]:
+    """Append one history row for ``doc``; returns the row.
+
+    Returns ``None`` without writing when the row would duplicate the
+    last valid line of the file (same sha, same benchmark numbers) —
+    the committed trend stays one row per distinct bench result.
+    """
     row = history_row(doc)
+    previous = load_history(path)
+    if previous and _same_trend_row(row, previous[-1]):
+        return None
     with open(path, "a") as handle:
         handle.write(json.dumps(row, sort_keys=True) + "\n")
     return row

@@ -81,17 +81,53 @@ def _sha_note(result: DiffResult, old: dict, new: dict) -> None:
     carry ``provenance.git_sha``; legacy bench documents without one
     stay silent so a diff of two unstamped files reads unchanged.
     """
-    old_sha = (old.get("provenance") or {}).get("git_sha")
-    new_sha = (new.get("provenance") or {}).get("git_sha")
+    old_prov = old.get("provenance") or {}
+    new_prov = new.get("provenance") or {}
+    old_sha = old_prov.get("git_sha")
+    new_sha = new_prov.get("git_sha")
     if old_sha is None and new_sha is None:
         return
 
-    def short(sha: object) -> str:
-        return sha[:12] if isinstance(sha, str) and sha else "unknown"
+    def short(prov: dict) -> str:
+        sha = prov.get("git_sha")
+        text = sha[:12] if isinstance(sha, str) and sha else "unknown"
+        if prov.get("git_dirty"):
+            text += "+dirty"
+        return text
 
     result.notes.append(
-        f"comparing git shas {short(old_sha)} -> {short(new_sha)}"
+        f"comparing git shas {short(old_prov)} -> {short(new_prov)}"
     )
+
+
+def _cache_note(result: DiffResult, old: dict, new: dict) -> None:
+    """Flag warm-vs-cold comparisons (different cache temperature).
+
+    ``repro reproduce`` stamps ``provenance.cache`` with
+    ``cells_cached``/``cells_computed``; comparing a warm document
+    against a cold one is still byte-identical by design, but the
+    reader should know the two runs exercised different executors.
+    """
+
+    def temperature(doc: dict) -> str:
+        stamp = (doc.get("provenance") or {}).get("cache")
+        if not isinstance(stamp, dict):
+            return "uncached"
+        cached = stamp.get("cells_cached") or 0
+        computed = stamp.get("cells_computed") or 0
+        if cached and not computed:
+            return "warm"
+        if computed and not cached:
+            return "cold"
+        return f"mixed ({cached} cached, {computed} computed)"
+
+    old_temp = temperature(old)
+    new_temp = temperature(new)
+    if old_temp != new_temp:
+        result.notes.append(
+            f"cache temperature differs: {old_temp} -> {new_temp} "
+            "(warm runs adopt stored phases; reports stay comparable)"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -109,6 +145,7 @@ def _claims(doc: dict) -> dict[tuple[str, str], str]:
 def _diff_reports(old: dict, new: dict) -> DiffResult:
     result = DiffResult(kind="report")
     _sha_note(result, old, new)
+    _cache_note(result, old, new)
     old_claims = _claims(old)
     new_claims = _claims(new)
     for key, new_status in new_claims.items():
@@ -170,21 +207,90 @@ def _diff_bench(old: dict, new: dict, threshold: float) -> DiffResult:
     # The total has no work counters of its own; it is provably
     # noise-only when the two documents cover the same benchmarks and
     # every one did identical work.
+    same_names = old_points.keys() == new_points.keys()
     all_same_work = (
         bool(shared_work_matches)
         and all(shared_work_matches)
-        and old_points.keys() == new_points.keys()
+        and same_names
     )
+    old_total = old.get("total_wall_s")
+    new_total = new.get("total_wall_s")
+    if not same_names:
+        # Raw totals cover different work once a row appears or
+        # disappears; gate the sum over the shared rows instead so a
+        # grown suite does not read as a slowdown.
+        shared = old_points.keys() & new_points.keys()
+        old_total = _wall_sum(old_points, shared)
+        new_total = _wall_sum(new_points, shared)
+        result.notes.append(
+            f"benchmark sets differ; total gated over {len(shared)} "
+            "shared row(s)"
+        )
     _compare_wall(
         result,
         "total",
-        old.get("total_wall_s"),
-        new.get("total_wall_s"),
+        old_total,
+        new_total,
         threshold,
         demote_to_note=all_same_work,
     )
     _check_parallel_wins(result, new_points)
+    _check_cache_wins(result, new_points)
     return result
+
+
+# The warm sweep must beat the cold one by at least this factor; the
+# acceptance bar for the result cache (a warm run executes nothing).
+_CACHE_MIN_SPEEDUP = 4.0
+
+
+def _check_cache_wins(
+    result: DiffResult, new_points: dict[str, dict]
+) -> None:
+    """Fail when the warm sweep is not >= 4x faster than the cold one.
+
+    Gated on the new document alone, like :func:`_check_parallel_wins`:
+    a ``reproduce_warm`` row within 4x of ``reproduce_cold`` means the
+    cache is loading, unpickling or keying slower than simply
+    re-simulating — the regression the store exists to prevent.
+    """
+    cold = new_points.get("reproduce_cold")
+    warm = new_points.get("reproduce_warm")
+    if cold is None or warm is None:
+        return
+    cold_wall = cold.get("wall_s")
+    warm_wall = warm.get("wall_s")
+    if not isinstance(cold_wall, (int, float)) or not isinstance(
+        warm_wall, (int, float)
+    ):
+        return
+    if warm_wall <= 0:
+        return
+    speedup = cold_wall / warm_wall
+    if speedup < _CACHE_MIN_SPEEDUP:
+        result.regressions.append(
+            f"reproduce_warm only {speedup:.2f}x faster than "
+            f"reproduce_cold (need >= {_CACHE_MIN_SPEEDUP:.0f}x)"
+        )
+    if warm.get("events") != cold.get("events"):
+        result.regressions.append(
+            "reproduce_warm events differ from reproduce_cold "
+            f"({warm.get('events')} != {cold.get('events')}): "
+            "cached values do not match computed ones"
+        )
+
+
+def _wall_sum(
+    points: dict[str, dict], names: set[str]
+) -> float | None:
+    """Sum ``wall_s`` over *names*; None when any row lacks a number."""
+    total = 0.0
+    for name in names:
+        wall = points[name].get("wall_s")
+        if not isinstance(wall, (int, float)):
+            return None
+        total += wall
+    return total
 
 
 def _check_parallel_wins(

@@ -19,7 +19,10 @@ import hashlib
 import inspect
 import json
 import subprocess
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...cache.store import ResultCache
 
 from ...analysis.report import format_markdown_table
 from ...experiments.settings import RunScale
@@ -72,11 +75,34 @@ def _git_sha() -> str:
     return out.stdout.strip() if out.returncode == 0 else "unknown"
 
 
+def _git_dirty() -> Optional[bool]:
+    """Whether the worktree differs from HEAD; ``None`` when unknowable.
+
+    A dirty worktree used to stamp a clean-looking sha into
+    ``report.json`` and ``bench_history.jsonl`` — indistinguishable
+    from a run of the committed code.  The flag travels next to the
+    sha so trend rows and report diffs can discount uncommitted runs.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return bool(out.stdout.strip())
+
+
 def provenance(
     figures: Sequence[str],
     scale: RunScale,
     seed: int,
     specs: dict[str, FigureSpec],
+    cache_stats: Optional[dict] = None,
 ) -> dict:
     """The run-provenance manifest stamped into ``report.json``.
 
@@ -105,13 +131,20 @@ def provenance(
     digest = hashlib.sha256(
         json.dumps(config, sort_keys=True).encode()
     ).hexdigest()
-    return {
+    manifest = {
         "git_sha": _git_sha(),
+        "git_dirty": _git_dirty(),
         "scale": scale.name,
         "seed": seed,
         "figures": list(figures),
         "config_hash": digest[:16],
     }
+    if cache_stats is not None:
+        # Not part of the config hash: whether cells came from the
+        # store is run history, not run identity.  ``repro diff`` uses
+        # it to flag warm-vs-cold comparisons.
+        manifest["cache"] = dict(cache_stats)
+    return manifest
 
 
 def _truncated_phases(metrics: dict) -> list[str]:
@@ -166,6 +199,7 @@ def collect_sections(
     figure is byte-identical to the gated report (and, via
     :mod:`repro.parallel`, identical at any ``--jobs``).
     """
+    from ...cache.hooks import cache_keyed
     from ..expectations import SPECS
 
     runners = runners if runners is not None else default_runners()
@@ -173,10 +207,14 @@ def collect_sections(
     sections = []
     for name in names:
         registry = MetricsRegistry()
-        with observed(registry):
-            result = runners[name](
-                **_runner_kwargs(runners[name], scale, jobs, seed, chunk)
-            )
+        # Each figure's cells are keyed under its expectation spec's
+        # digest parts: editing one spec invalidates exactly that
+        # figure's cache entries (a no-op when no cache is installed).
+        with cache_keyed(specs[name].digest_parts()):
+            with observed(registry):
+                result = runners[name](
+                    **_runner_kwargs(runners[name], scale, jobs, seed, chunk)
+                )
         metrics = registry.report()
         evaluation = evaluate_figure(specs[name], result, metrics=metrics)
         echo(result.format())
@@ -208,12 +246,18 @@ def run_reproduce(
     runners: Optional[dict[str, Callable]] = None,
     specs: Optional[dict[str, FigureSpec]] = None,
     echo: Callable[[str], None] = print,
+    cache: Optional["ResultCache"] = None,
 ) -> int:
     """Run figures, evaluate claims, write both reports; 1 on failure.
 
     ``jobs > 1`` fans each figure's sweep points across a process pool
     (:mod:`repro.parallel`); reports are identical to a serial run.
+    ``cache`` installs a content-addressed result cache for the run:
+    unchanged cells are served from the store (the report stays
+    byte-identical to a cold run apart from the ``provenance.cache``
+    stamp) and computed cells are written back.
     """
+    from ...cache.hooks import result_cached
     from ..expectations import SPECS
 
     runners = runners if runners is not None else default_runners()
@@ -229,17 +273,33 @@ def run_reproduce(
         )
         return 2
 
-    sections = collect_sections(
-        names,
-        scale=scale,
-        seed=seed,
-        jobs=jobs,
-        chunk=chunk,
-        runners=runners,
-        specs=specs,
-        echo=echo,
-    )
-    manifest = provenance(names, scale, seed, specs)
+    # Snapshot, not absolute counters: one ResultCache instance may
+    # serve many runs (`repro serve` shares the store across jobs) and
+    # each report must stamp only its own hits and misses.
+    before = cache.stats.as_dict() if cache is not None else {}
+    with result_cached(cache):
+        sections = collect_sections(
+            names,
+            scale=scale,
+            seed=seed,
+            jobs=jobs,
+            chunk=chunk,
+            runners=runners,
+            specs=specs,
+            echo=echo,
+        )
+    cache_stats = None
+    if cache is not None:
+        after = cache.stats.as_dict()
+        cache_stats = {
+            "cells_cached": after["hits"] - before["hits"],
+            "cells_computed": after["misses"] - before["misses"],
+            "bytes_read": after["bytes_read"] - before["bytes_read"],
+            "bytes_written": (
+                after["bytes_written"] - before["bytes_written"]
+            ),
+        }
+    manifest = provenance(names, scale, seed, specs, cache_stats)
     doc = report_doc(manifest, sections)
     with open(json_path, "w") as handle:
         json.dump(doc, handle, indent=2)
@@ -252,6 +312,8 @@ def run_reproduce(
         f"({summary['failed']} failed, {summary['skipped']} skipped)"
         f"\nreport: {report_path}\njson:   {json_path}"
     )
+    if cache is not None:
+        echo(f"cache:  {cache.stats.summary()} ({cache.directory})")
     return 1 if summary["failed"] else 0
 
 
@@ -299,7 +361,8 @@ def render_report_md(manifest: dict, sections: list[dict]) -> str:
         "",
         "## Provenance",
         "",
-        f"- git sha: `{manifest['git_sha']}`",
+        f"- git sha: `{manifest['git_sha']}`"
+        + (" (dirty worktree)" if manifest.get("git_dirty") else ""),
         f"- run scale: `{manifest['scale']}`, seed {manifest['seed']}",
         f"- config hash: `{manifest['config_hash']}`",
         f"- figures: {', '.join(manifest['figures'])}",

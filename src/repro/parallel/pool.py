@@ -46,6 +46,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from ..cache.hooks import current_result_cache
 from ..faults.hooks import current_faults, set_faults
 from ..obs.hooks import current_registry, observed, set_registry
 from ..obs.registry import MetricsRegistry
@@ -250,6 +251,183 @@ def _chunked(
     return [specs[index:index + size] for index in range(0, len(specs), size)]
 
 
+# ---------------------------------------------------------------------------
+# Content-addressed result cache (repro.cache) integration
+# ---------------------------------------------------------------------------
+def _cache_bypassed(specs: Sequence[PointSpec], registry) -> bool:
+    """Sweeps the cache must not intercept.
+
+    Payload-carrying cells (fault plans, chaos schedules) are runs whose
+    *side observations* matter; a tracer's spans cannot be replayed from
+    a store; a global monitor or fault runtime means the caller will
+    interrogate process state the cached value does not carry.
+    """
+    if any(spec.payload is not None for spec in specs):
+        return True
+    if registry is not None and registry.tracer is not None:
+        return True
+    return current_monitor() is not None or current_faults() is not None
+
+
+def _run_cold_serial(
+    specs: Sequence[PointSpec],
+    scale: RunScale,
+    collect: bool,
+    interval: Optional[float],
+    max_samples: int,
+) -> tuple:
+    """Run cold cells inline, each under its own capture registry.
+
+    Mirrors :func:`_execute_chunk`'s observable behavior (the recorded
+    phase payloads are what the parent adopts and the store keeps) but
+    runs in the parent process, restoring the ambient hooks afterwards.
+    Returns the same ``(values_with_payloads, error)`` shape the pool
+    path produces.
+    """
+    outputs: list = []
+    for spec in specs:
+        capture: Optional[MetricsRegistry] = None
+        try:
+            if collect:
+                capture = MetricsRegistry(
+                    sample_interval_ns=interval,
+                    max_samples_per_phase=max_samples,
+                )
+                capture.begin_phase(spec.label)
+                with observed(capture):
+                    value = _runner_for(spec.runner)(spec, scale)
+                payload = capture.report()["phases"][0]
+            else:
+                value = _runner_for(spec.runner)(spec, scale)
+                payload = None
+        except InvariantViolation as violation:
+            return (outputs, remote_error_payload(spec.label, violation))
+        outputs.append((value, payload))
+    return (outputs, None)
+
+
+def _run_cold_pooled(
+    specs: Sequence[PointSpec],
+    scale: RunScale,
+    collect: bool,
+    interval: Optional[float],
+    max_samples: int,
+    jobs: int,
+    chunk: Optional[int],
+) -> tuple:
+    """Fan cold cells across the warm pool; spec-order outputs."""
+    workers = max(1, min(jobs, _usable_cpus()))
+    chunk_size = chunk if chunk is not None else max(
+        1, -(-len(specs) // (2 * workers))
+    )
+    pool = _ensure_pool(workers)
+    futures = [
+        pool.submit(
+            _execute_chunk, chunk_specs, scale, collect, interval, max_samples
+        )
+        for chunk_specs in _chunked(list(specs), chunk_size)
+    ]
+    outputs: list = []
+    for future in futures:
+        values, payloads, error = future.result()
+        if collect:
+            outputs.extend(zip(values, payloads))
+        else:
+            outputs.extend((value, None) for value in values)
+        if error is not None:
+            return (outputs, error)
+    return (outputs, None)
+
+
+def _stored_payload(payload: Optional[dict]) -> Optional[dict]:
+    """Normalize a phase payload for the store (position-independent).
+
+    The recorded index is chunk-relative and reassigned on adoption;
+    zeroing it makes the stored entry identical whichever executor
+    produced it.
+    """
+    if payload is None:
+        return None
+    normalized = dict(payload)
+    normalized["index"] = 0
+    return normalized
+
+
+def _run_points_cached(
+    cache,
+    specs: Sequence[PointSpec],
+    scale: RunScale,
+    *,
+    registry: Optional[MetricsRegistry],
+    jobs: int,
+    chunk: Optional[int],
+) -> list:
+    """The cache-aware executor: warm cells never reach the pool.
+
+    Every cell's key is computed up front; hits are served straight
+    from the store and only the misses are executed (serially or
+    through the pool, matching the caller's ``jobs``).  Results and
+    recorded metric phases are then merged *in spec order* — warm
+    phases adopted from the store, cold phases adopted from the
+    executor and written back — so the parent registry's phase list is
+    identical to an uncached run's and a fully warm sweep re-creates
+    the exact report bytes of a cold one.
+    """
+    collect = registry is not None
+    interval = registry.sample_interval_ns if collect else None
+    max_samples = registry.max_samples_per_phase if collect else 0
+    keys = [
+        cache.key_for(
+            spec,
+            scale,
+            collect=collect,
+            sample_interval_ns=interval,
+            max_samples=max_samples,
+        )
+        for spec in specs
+    ]
+    loaded: dict[int, tuple] = {}
+    for index, key in enumerate(keys):
+        entry = cache.load(key)
+        if entry is not None:
+            loaded[index] = entry
+    cold = [index for index in range(len(specs)) if index not in loaded]
+    cold_outputs: list = []
+    error = None
+    if cold:
+        cold_specs = [specs[index] for index in cold]
+        if min(jobs, len(cold_specs)) <= 1:
+            cold_outputs, error = _run_cold_serial(
+                cold_specs, scale, collect, interval, max_samples
+            )
+        else:
+            cold_outputs, error = _run_cold_pooled(
+                cold_specs, scale, collect, interval, max_samples,
+                jobs, chunk,
+            )
+    values: list = []
+    completed = dict(zip(cold, cold_outputs))
+    for index, spec in enumerate(specs):
+        if index in loaded:
+            value, payload = loaded[index]
+        elif index in completed:
+            value, payload = completed[index]
+            cache.store(
+                keys[index], value, _stored_payload(payload), spec=spec
+            )
+        else:
+            # The executor stopped at a violating cold cell; phases of
+            # everything before it are already adopted, like a serial
+            # run that died mid-sweep.
+            raise RemotePointError(*error)
+        if collect and payload is not None:
+            registry.adopt_phase(payload)
+        values.append(value)
+    if error is not None:
+        raise RemotePointError(*error)
+    return values
+
+
 def run_points(
     specs: Sequence[PointSpec],
     scale: RunScale,
@@ -282,6 +460,12 @@ def run_points(
         raise ValueError(f"chunk must be >= 1, got {chunk}")
     requested = min(jobs or 1, len(specs))
     registry = current_registry()
+    cache = current_result_cache()
+    if cache is not None and not _cache_bypassed(specs, registry):
+        return _run_points_cached(
+            cache, specs, scale,
+            registry=registry, jobs=requested, chunk=chunk,
+        )
     serial = (
         requested <= 1
         or (registry is not None and registry.tracer is not None)

@@ -1,0 +1,19 @@
+"""``repro serve``: a long-running reproduce service.
+
+Turns the per-invocation CLI into a daemon: reproduce/sweep requests
+arrive over HTTP, land in a job queue, and identical in-flight work is
+deduplicated by config hash — a second request for a running job
+attaches to the first instead of re-running it.  Results (REPORT.md /
+report.json) are served once the job retires.  Together with the
+content-addressed result cache (:mod:`repro.cache`) this is the path
+from "one CLI run per user" to "one service absorbing many report
+requests": concurrent duplicates collapse in the queue, repeated
+configs collapse in the store.
+
+Stdlib only (``http.server``), like the rest of the repository.
+"""
+
+from .jobs import Job, JobQueue, ReproduceRequest
+from .server import ReproServer
+
+__all__ = ["Job", "JobQueue", "ReproduceRequest", "ReproServer"]

@@ -1,0 +1,228 @@
+"""The serve-side job queue: FIFO execution, in-flight dedup by config.
+
+A :class:`ReproduceRequest` is the canonicalized description of one
+reproduce run (figures, scale, seed, parallelism).  Its
+:meth:`~ReproduceRequest.config_key` hashes exactly the fields that
+determine the *output* — parallelism knobs are excluded, because
+``--jobs`` is guaranteed byte-invisible in the report — so two users
+asking for the same report at different worker counts still share one
+run.
+
+Dedup contract: while a job for a key is queued or running, submitting
+the same key *attaches* to it (no new work); once it has retired, a
+new submission creates a fresh job — which the result cache then makes
+nearly free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import threading
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..experiments.settings import FULL, QUICK, RunScale
+
+__all__ = ["ReproduceRequest", "Job", "JobQueue"]
+
+# An executor runs one request into an output directory and returns the
+# reproduce exit code (0 ok, 1 claims violated, 2 bad request).
+Executor = Callable[["ReproduceRequest", Path], int]
+
+
+class ReproduceRequest:
+    """One canonicalized reproduce request."""
+
+    def __init__(
+        self,
+        figures: Optional[tuple[str, ...]] = None,
+        full: bool = False,
+        seed: int = 1,
+        jobs: Optional[int] = None,
+        chunk: Optional[int] = None,
+    ) -> None:
+        self.figures = tuple(figures) if figures else None
+        self.full = bool(full)
+        self.seed = int(seed)
+        self.jobs = jobs
+        self.chunk = chunk
+
+    @classmethod
+    def from_json(cls, doc: object) -> "ReproduceRequest":
+        """Build from a request body; raises ``ValueError`` on junk."""
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        figures = doc.get("figures")
+        if figures is not None:
+            if not isinstance(figures, list) or not all(
+                isinstance(f, str) and f for f in figures
+            ):
+                raise ValueError("figures must be a list of figure keys")
+            figures = tuple(figures)
+        seed = doc.get("seed", 1)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ValueError("seed must be an integer")
+        jobs = doc.get("jobs")
+        if jobs is not None and (
+            not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 0
+        ):
+            raise ValueError("jobs must be a non-negative integer")
+        chunk = doc.get("chunk")
+        if chunk is not None and (
+            not isinstance(chunk, int) or isinstance(chunk, bool) or chunk < 1
+        ):
+            raise ValueError("chunk must be a positive integer")
+        return cls(
+            figures=figures,
+            full=bool(doc.get("full", False)),
+            seed=seed,
+            jobs=jobs,
+            chunk=chunk,
+        )
+
+    def scale(self) -> RunScale:
+        return FULL if self.full else QUICK
+
+    def config_key(self) -> str:
+        """Hash of the output-determining fields (not parallelism)."""
+        material = {
+            "figures": list(self.figures) if self.figures else None,
+            "scale": self.scale().name,
+            "seed": self.seed,
+        }
+        return hashlib.sha256(
+            json.dumps(material, sort_keys=True).encode()
+        ).hexdigest()[:16]
+
+    def describe(self) -> dict:
+        return {
+            "figures": list(self.figures) if self.figures else None,
+            "full": self.full,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "chunk": self.chunk,
+        }
+
+
+class Job:
+    """One queued/running/retired reproduce run."""
+
+    def __init__(self, job_id: str, request: ReproduceRequest, outdir: Path):
+        self.id = job_id
+        self.request = request
+        self.key = request.config_key()
+        self.outdir = outdir
+        self.status = "queued"  # queued -> running -> done | failed
+        self.exit_code: Optional[int] = None
+        self.error: Optional[str] = None
+        # How many extra requests attached to this in-flight job (the
+        # dedup win, surfaced for observability and the tests).
+        self.attachments = 0
+        self._done = threading.Event()
+
+    @property
+    def report_json(self) -> Path:
+        return self.outdir / "report.json"
+
+    @property
+    def report_md(self) -> Path:
+        return self.outdir / "REPORT.md"
+
+    def finished(self) -> bool:
+        return self.status in ("done", "failed")
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+    def describe(self) -> dict:
+        return {
+            "id": self.id,
+            "config_key": self.key,
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "error": self.error,
+            "attachments": self.attachments,
+            "request": self.request.describe(),
+        }
+
+
+class JobQueue:
+    """FIFO job execution with in-flight dedup by config key."""
+
+    def __init__(self, workdir: Path, executor: Executor) -> None:
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self._executor = executor
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}  # id -> job (all, forever)
+        self._inflight: dict[str, Job] = {}  # config key -> live job
+        self._serial = 0
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._worker = threading.Thread(
+            target=self._drain, name="repro-serve-worker", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission (the dedup point)
+    # ------------------------------------------------------------------
+    def submit(self, request: ReproduceRequest) -> tuple[Job, bool]:
+        """Enqueue ``request``; returns ``(job, attached)``.
+
+        ``attached`` is True when an identical config was already
+        queued or running and this request joined it instead of
+        creating new work.
+        """
+        key = request.config_key()
+        with self._lock:
+            live = self._inflight.get(key)
+            if live is not None and not live.finished():
+                live.attachments += 1
+                return (live, True)
+            self._serial += 1
+            job_id = f"job-{self._serial:06d}"
+            job = Job(job_id, request, self.workdir / job_id)
+            self._jobs[job_id] = job
+            self._inflight[key] = job
+        self._queue.put(job)
+        return (job, False)
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    # ------------------------------------------------------------------
+    # The worker loop
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            self._run(job)
+
+    def _run(self, job: Job) -> None:
+        job.status = "running"
+        try:
+            job.outdir.mkdir(parents=True, exist_ok=True)
+            job.exit_code = self._executor(job.request, job.outdir)
+            job.status = "done"
+        except Exception as exc:  # the queue must survive any job
+            job.status = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            with self._lock:
+                if self._inflight.get(job.key) is job:
+                    del self._inflight[job.key]
+            job._done.set()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop the worker after the current job (tests/clean exit)."""
+        self._queue.put(None)
+        self._worker.join(timeout)

@@ -1,0 +1,209 @@
+"""The HTTP face of ``repro serve`` (stdlib ``ThreadingHTTPServer``).
+
+Endpoints::
+
+    GET  /healthz                     liveness
+    GET  /api/cache/stats             store contents + this-run counters
+    GET  /api/jobs                    every job this daemon has seen
+    GET  /api/jobs/<id>               one job's status document
+    GET  /api/jobs/<id>/report.json   the gated report (202 until done)
+    GET  /api/jobs/<id>/report.md     REPORT.md (202 until done)
+    POST /api/reproduce               submit a run; 202 + job document
+
+A POST whose config hash matches a queued/running job *attaches* to it
+(``"attached": true`` in the response) — the dedup that lets N
+identical concurrent requests cost one underlying run.  Completed
+results are plain files in the job's directory; re-requesting a
+retired config starts a fresh job, which the result cache then serves
+almost entirely from the store.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional
+
+from ..cache.store import ResultCache
+from .jobs import Executor, JobQueue, ReproduceRequest
+
+__all__ = ["ReproServer"]
+
+
+class ReproServer:
+    """Owns the cache, the job queue and the HTTP listener."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: Optional[str] = None,
+        workdir: Optional[str] = None,
+        jobs: Optional[int] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        self.cache = ResultCache(cache_dir)
+        self.default_jobs = jobs
+        if workdir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
+            workdir = self._tempdir.name
+        else:
+            self._tempdir = None
+        self.queue = JobQueue(
+            Path(workdir), executor or self._run_reproduce
+        )
+        self._http = ThreadingHTTPServer(
+            (host, port), _handler_for(self)
+        )
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # The default executor: a real reproduce run through the cache
+    # ------------------------------------------------------------------
+    def _run_reproduce(self, request: ReproduceRequest, outdir: Path) -> int:
+        from ..obs.expect.reproduce import run_reproduce
+
+        log_path = outdir / "log.txt"
+        with open(log_path, "a") as log:
+            return run_reproduce(
+                list(request.figures) if request.figures else None,
+                scale=request.scale(),
+                seed=request.seed,
+                jobs=request.jobs or self.default_jobs,
+                chunk=request.chunk,
+                report_path=str(outdir / "REPORT.md"),
+                json_path=str(outdir / "report.json"),
+                echo=lambda line: print(line, file=log),
+                cache=self.cache,
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._http.server_address[:2]
+        return (str(host), int(port))
+
+    def start(self) -> None:
+        """Serve in a background thread (tests, embedding)."""
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI daemon path)."""
+        self._http.serve_forever()
+
+    def stop(self) -> None:
+        self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+        self.queue.shutdown()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+
+
+def _handler_for(server: "ReproServer"):
+    """A request-handler class bound to one :class:`ReproServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        # Quiet by default: the daemon's stdout is for operators, and
+        # tests hammer the endpoints.
+        def log_message(self, fmt: str, *args) -> None:
+            pass
+
+        # --------------------------------------------------------------
+        # Plumbing
+        # --------------------------------------------------------------
+        def _send_json(self, status: int, doc: dict) -> None:
+            blob = (json.dumps(doc, indent=2) + "\n").encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(blob)))
+            self.end_headers()
+            self.wfile.write(blob)
+
+        def _send_file(self, path: Path, content_type: str) -> None:
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                self._send_json(404, {"error": f"{path.name} not found"})
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(blob)))
+            self.end_headers()
+            self.wfile.write(blob)
+
+        # --------------------------------------------------------------
+        # GET
+        # --------------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if parts == ["healthz"]:
+                self._send_json(200, {"status": "ok"})
+                return
+            if parts == ["api", "cache", "stats"]:
+                self._send_json(
+                    200,
+                    {
+                        "disk": server.cache.disk_stats(),
+                        "run": server.cache.stats.as_dict(),
+                    },
+                )
+                return
+            if parts == ["api", "jobs"]:
+                self._send_json(
+                    200,
+                    {"jobs": [j.describe() for j in server.queue.jobs()]},
+                )
+                return
+            if len(parts) >= 3 and parts[:2] == ["api", "jobs"]:
+                job = server.queue.get(parts[2])
+                if job is None:
+                    self._send_json(404, {"error": "no such job"})
+                    return
+                if len(parts) == 3:
+                    self._send_json(200, job.describe())
+                    return
+                if not job.finished():
+                    self._send_json(202, job.describe())
+                    return
+                if parts[3] == "report.json":
+                    self._send_file(job.report_json, "application/json")
+                    return
+                if parts[3] == "report.md":
+                    self._send_file(job.report_md, "text/markdown")
+                    return
+            self._send_json(404, {"error": f"no route for {self.path}"})
+
+        # --------------------------------------------------------------
+        # POST
+        # --------------------------------------------------------------
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if parts != ["api", "reproduce"]:
+                self._send_json(404, {"error": f"no route for {self.path}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length) if length else b"{}"
+                request = ReproduceRequest.from_json(json.loads(body))
+            except (ValueError, KeyError) as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            job, attached = server.queue.submit(request)
+            doc = job.describe()
+            doc["attached"] = attached
+            self._send_json(202, doc)
+
+    return Handler

@@ -1,0 +1,111 @@
+"""Code fingerprints: closure walking, edits invalidate, tree fallback."""
+
+import pytest
+
+from repro.cache import fingerprint
+from repro.experiments.points import POINT_RUNNERS
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    fingerprint.clear_fingerprint_cache()
+    yield
+    fingerprint.clear_fingerprint_cache()
+
+
+@pytest.fixture()
+def fake_tree(tmp_path, monkeypatch):
+    """A miniature package tree the walker treats as ``repro``."""
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    (root / "a.py").write_text("from . import b\nX = 1\n")
+    (root / "b.py").write_text("import repro.c\nY = 2\n")
+    (root / "c.py").write_text("Z = 3\n")
+    (root / "lonely.py").write_text("L = 4\n")
+    monkeypatch.setattr(fingerprint, "_package_root", lambda: root)
+    return root
+
+
+class TestClosure:
+    def test_walks_transitive_imports(self, fake_tree):
+        files = fingerprint.module_closure("repro.a")
+        names = sorted(p.name for p in files)
+        # a -> b (relative, which also pulls the package __init__)
+        # -> c (absolute); lonely is unreachable.
+        assert names == ["__init__.py", "a.py", "b.py", "c.py"]
+
+    def test_unknown_module_raises(self, fake_tree):
+        with pytest.raises(FileNotFoundError):
+            fingerprint.module_closure("repro.missing")
+
+    def test_out_of_package_module_raises(self, fake_tree):
+        with pytest.raises(FileNotFoundError):
+            fingerprint.module_closure("tests.cache.test_fingerprint")
+
+    def test_real_tree_closure_resolves(self):
+        # Against the installed package: the sweep executor's module
+        # reaches its spec types without pulling in the whole tree.
+        files = fingerprint.module_closure("repro.parallel.pool")
+        names = {p.name for p in files}
+        assert "pool.py" in names
+        assert "spec.py" in names
+
+
+class TestRunnerFingerprint:
+    def register(self, name, fn):
+        POINT_RUNNERS[name] = fn
+        return name
+
+    def teardown_method(self):
+        POINT_RUNNERS.pop("t-fake", None)
+
+    def test_edit_changes_fingerprint(self, fake_tree):
+        fake = type("R", (), {})()
+        fake.__module__ = "repro.a"
+        self.register("t-fake", fake)
+        before = fingerprint.runner_fingerprint("t-fake")
+        # Editing a transitively imported file must invalidate, even
+        # though a.py itself is untouched (the dirty-worktree case).
+        (fake_tree / "c.py").write_text("Z = 4  # edited\n")
+        fingerprint.clear_fingerprint_cache()
+        after = fingerprint.runner_fingerprint("t-fake")
+        assert before != after
+
+    def test_unreachable_edit_keeps_fingerprint(self, fake_tree):
+        fake = type("R", (), {})()
+        fake.__module__ = "repro.a"
+        self.register("t-fake", fake)
+        before = fingerprint.runner_fingerprint("t-fake")
+        (fake_tree / "lonely.py").write_text("L = 5\n")
+        fingerprint.clear_fingerprint_cache()
+        assert fingerprint.runner_fingerprint("t-fake") == before
+
+    def test_scratch_runner_falls_back_to_tree(self):
+        def scratch(spec, scale):  # defined outside the repro package
+            return None
+
+        self.register("t-fake", scratch)
+        value = fingerprint.runner_fingerprint("t-fake")
+        assert value == fingerprint.tree_fingerprint()
+
+    def test_unknown_runner_falls_back_to_tree(self):
+        value = fingerprint.runner_fingerprint("no-such-runner")
+        assert value == fingerprint.tree_fingerprint()
+
+    def test_memoized_per_key(self, fake_tree):
+        fake = type("R", (), {})()
+        fake.__module__ = "repro.a"
+        self.register("t-fake", fake)
+        first = fingerprint.runner_fingerprint("t-fake")
+        # A disk edit without clearing the memo is invisible (one stat
+        # of the tree per process, by design)...
+        (fake_tree / "a.py").write_text("X = 99\n")
+        assert fingerprint.runner_fingerprint("t-fake") == first
+        # ...and visible after the cache is dropped.
+        fingerprint.clear_fingerprint_cache()
+        assert fingerprint.runner_fingerprint("t-fake") != first
+
+
+def test_tree_fingerprint_is_stable_and_memoized():
+    assert fingerprint.tree_fingerprint() == fingerprint.tree_fingerprint()

@@ -78,9 +78,20 @@ def test_history_row_roundtrip(tmp_path):
     assert row["git_sha"] == "a" * 40
     loaded = bench.load_history(str(path))
     assert loaded == [row]
-    # Appends accumulate (the committed file is append-only).
-    bench.append_history(doc, str(path))
+    # Re-appending the identical document (same sha, same numbers) is
+    # a no-op: the trend keeps one row per distinct bench result.
+    assert bench.append_history(doc, str(path)) is None
+    assert len(bench.load_history(str(path))) == 1
+    # A changed number is a new result and does accumulate.
+    changed = json.loads(json.dumps(doc))
+    changed["benchmarks"][0]["events_per_wall_s"] = 2000.0
+    assert bench.append_history(changed, str(path)) is not None
     assert len(bench.load_history(str(path))) == 2
+    # ... as does the same numbers under a different sha.
+    moved = json.loads(json.dumps(changed))
+    moved["provenance"]["git_sha"] = "b" * 40
+    assert bench.append_history(moved, str(path)) is not None
+    assert len(bench.load_history(str(path))) == 3
 
 
 def test_history_row_without_provenance_is_anchored_unknown():

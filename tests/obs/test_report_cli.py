@@ -67,10 +67,19 @@ def test_bench_writes_and_checks(chdir_tmp, capsys):
     doc = json.loads(out.read_text())
     assert bench.check_schema(doc) == []
     assert doc["schema"] == "repro.bench/1"
-    assert {b["mode"] for b in doc["benchmarks"]} == {"off", "strict", "fns"}
+    assert {b["mode"] for b in doc["benchmarks"]} == {
+        "off", "strict", "fns", "sweep",
+    }
     for point in doc["benchmarks"]:
         assert point["wall_s"] > 0
         assert point["events"] > 0
+    # The result-cache pair: identical deterministic work, warm served
+    # entirely from the store.
+    by_name = {b["name"]: b for b in doc["benchmarks"]}
+    cold = by_name["reproduce_cold"]
+    warm = by_name["reproduce_warm"]
+    assert warm["events"] == cold["events"]
+    assert warm["wall_s"] < cold["wall_s"]
     assert main(["bench", "--check", str(out)]) == 0
     assert "schema OK" in capsys.readouterr().out
 

@@ -95,8 +95,10 @@ class TestRunReproduce:
             "provenance"
         ]
         assert set(stamped) == {
-            "git_sha", "scale", "seed", "figures", "config_hash",
+            "git_sha", "git_dirty", "scale", "seed", "figures",
+            "config_hash",
         }
+        assert stamped["git_dirty"] in (True, False, None)
         assert stamped["scale"] == "micro"
         assert stamped["seed"] == 7
         assert stamped["figures"] == ["stub"]
@@ -302,16 +304,46 @@ class TestDiffBenchExactWork:
             for n in result.notes
         )
 
-    def test_total_keeps_gating_when_coverage_differs(self):
-        # A benchmark present only in the baseline means the totals are
-        # not comparable as pure noise (and is itself a regression).
+    def test_total_gates_shared_rows_when_coverage_differs(self):
+        # Raw totals cover different work when coverage differs; the
+        # gate falls back to the sum over shared rows.  A disappeared
+        # benchmark is its own regression, but it must not *also* fake
+        # a total slowdown.
         old = make_exact_bench_doc(1.0)
         old["benchmarks"].append({"name": "extra", "wall_s": 0.1})
-        old["total_wall_s"] = 2.0
+        old["total_wall_s"] = 1.1
         new = make_exact_bench_doc(1.0)
-        new["total_wall_s"] = 4.0
         result = diff_documents(old, new)
         assert any("disappeared" in r for r in result.regressions)
+        assert not any(
+            r.startswith("total:") for r in result.regressions
+        )
+        assert any("shared row" in n for n in result.notes)
+
+    def test_new_rows_do_not_fake_a_total_slowdown(self):
+        # The grown-suite case (e.g. the reproduce_cold/warm pair
+        # appearing): extra rows add wall time but are not a
+        # regression of anything that existed before.
+        old = make_exact_bench_doc(1.0)
+        new = make_exact_bench_doc(1.0)
+        new["benchmarks"].append(
+            {"name": "reproduce_cold", "wall_s": 5.0}
+        )
+        new["total_wall_s"] = 6.0
+        result = diff_documents(old, new)
+        assert result.ok
+        assert any("new benchmark" in n for n in result.notes)
+
+    def test_shared_total_still_breaches_on_real_slowdown(self):
+        # The fallback is a gate, not a pardon: when the shared rows
+        # themselves got slower past the threshold, the total fires
+        # even though coverage differs (identical per-row work demotes
+        # the per-row breach, but not the cross-coverage total).
+        old = make_exact_bench_doc(1.0)
+        new = make_exact_bench_doc(4.0)
+        new["benchmarks"].append({"name": "extra", "wall_s": 0.1})
+        new["total_wall_s"] = 4.1
+        result = diff_documents(old, new)
         assert any(r.startswith("total:") for r in result.regressions)
 
     def test_event_count_change_is_always_a_regression(self):
@@ -427,3 +459,102 @@ def test_diff_result_format_counts():
     result = DiffResult(kind="bench", regressions=["a", "b"])
     text = result.format()
     assert "FAIL" in text and "2 regression(s)" in text
+
+
+def cache_pair_doc(cold_wall=4.0, warm_wall=0.5, warm_events=None):
+    def row(name, wall, events):
+        return {
+            "name": name,
+            "wall_s": wall,
+            "events": events,
+            "sim_ns": 1.0,
+            "events_per_wall_s": events / wall,
+        }
+
+    rows = [
+        row("reproduce_cold", cold_wall, 1000),
+        row("reproduce_warm", warm_wall, warm_events or 1000),
+    ]
+    return {
+        "schema": "repro.bench/1",
+        "benchmarks": rows,
+        "total_wall_s": sum(r["wall_s"] for r in rows),
+    }
+
+
+class TestDiffCacheGate:
+    """reproduce_cold/reproduce_warm: the cache must keep its 4x win."""
+
+    def test_warm_beating_cold_by_4x_passes(self):
+        doc = cache_pair_doc(cold_wall=4.0, warm_wall=0.5)
+        assert diff_documents(doc, doc).ok
+
+    def test_warm_within_4x_of_cold_is_regression(self):
+        doc = cache_pair_doc(cold_wall=4.0, warm_wall=2.0)
+        result = diff_documents(doc, doc)
+        assert not result.ok
+        assert any(
+            "reproduce_warm" in r and "4x" in r
+            for r in result.regressions
+        )
+
+    def test_warm_event_mismatch_is_regression(self):
+        # Warm cells replay stored values; different event totals mean
+        # the store served something the cold run did not compute.
+        doc = cache_pair_doc(warm_events=999)
+        result = diff_documents(doc, doc)
+        assert any(
+            "cached values do not match" in r for r in result.regressions
+        )
+
+    def test_docs_without_cache_rows_not_gated(self):
+        assert diff_documents(make_bench_doc(), make_bench_doc()).ok
+
+
+class TestDiffCacheTemperature:
+    def stamped(self, cached, computed):
+        doc = make_report_doc()
+        doc["provenance"]["cache"] = {
+            "cells_cached": cached,
+            "cells_computed": computed,
+        }
+        return doc
+
+    def test_warm_vs_cold_is_noted(self):
+        result = diff_documents(
+            self.stamped(0, 10), self.stamped(10, 0)
+        )
+        assert result.ok
+        assert any(
+            "cache temperature differs: cold -> warm" in n
+            for n in result.notes
+        )
+
+    def test_uncached_vs_warm_is_noted(self):
+        result = diff_documents(make_report_doc(), self.stamped(10, 0))
+        assert any("uncached -> warm" in n for n in result.notes)
+
+    def test_mixed_temperature_is_described(self):
+        result = diff_documents(
+            self.stamped(10, 0), self.stamped(7, 3)
+        )
+        assert any(
+            "mixed (7 cached, 3 computed)" in n for n in result.notes
+        )
+
+    def test_same_temperature_stays_silent(self):
+        result = diff_documents(self.stamped(10, 0), self.stamped(10, 0))
+        assert not any("cache temperature" in n for n in result.notes)
+
+
+class TestDirtySha:
+    def test_dirty_worktree_marked_in_sha_note(self):
+        old = make_report_doc()
+        old["provenance"]["git_sha"] = "a" * 40
+        new = make_report_doc()
+        new["provenance"]["git_sha"] = "a" * 40
+        new["provenance"]["git_dirty"] = True
+        result = diff_documents(old, new)
+        note = next(n for n in result.notes if "comparing git shas" in n)
+        assert note.endswith("+dirty")
+        assert "aaaaaaaaaaaa -> aaaaaaaaaaaa+dirty" in note

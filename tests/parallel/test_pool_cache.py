@@ -1,0 +1,190 @@
+"""``run_points`` + result cache: warm cells skip execution entirely.
+
+Uses pid-stamping and counting scratch runners: a warm cell returns
+the *stored* value (including the pid that computed it), so equality
+across runs proves no re-execution, on the serial and pooled paths
+alike.
+"""
+
+import os
+
+import pytest
+
+from repro.cache.hooks import result_cached
+from repro.cache.store import ResultCache
+from repro.experiments.points import POINT_RUNNERS
+from repro.experiments.settings import QUICK
+from repro.faults import FaultPlan, faulted
+from repro.obs import MetricsRegistry, SpanTracer, observed
+from repro.parallel import PointSpec, RemotePointError, run_points
+from repro.verify import InvariantMonitor, monitored
+from repro.verify.events import Event
+from repro.verify.violation import InvariantViolation
+
+COUNTED: list[str] = []
+
+
+def _counting_point(spec, scale):
+    COUNTED.append(spec.label)
+    return {"label": spec.label, "x": spec.x, "pid": os.getpid()}
+
+
+def _violating_point(spec, scale):
+    event = Event()
+    raise InvariantViolation(
+        "use-after-unmap", f"boom in {spec.label}", event, [event]
+    )
+
+
+@pytest.fixture(autouse=True)
+def scratch_runners():
+    COUNTED.clear()
+    POINT_RUNNERS["t-count"] = _counting_point
+    POINT_RUNNERS["t-violate"] = _violating_point
+    yield
+    POINT_RUNNERS.pop("t-count", None)
+    POINT_RUNNERS.pop("t-violate", None)
+
+
+def specs_for(runner, count=4, payload=None):
+    return [
+        PointSpec(
+            figure="T",
+            runner=runner,
+            mode="off",
+            x=x,
+            label=f"T off x={x}",
+            seed=x,
+            payload=payload,
+        )
+        for x in range(count)
+    ]
+
+
+@pytest.fixture()
+def cache(tmp_path, monkeypatch):
+    store = ResultCache(str(tmp_path / "store"))
+    monkeypatch.setattr(
+        type(store), "fingerprint_for", lambda self, key: "pinned"
+    )
+    return store
+
+
+class TestWarmPath:
+    def test_serial_warm_run_executes_nothing(self, cache):
+        specs = specs_for("t-count")
+        with result_cached(cache):
+            cold = run_points(specs, QUICK)
+            assert len(COUNTED) == 4
+            warm = run_points(specs, QUICK)
+        assert len(COUNTED) == 4
+        assert warm == cold  # stored values, stored pids
+
+    def test_pooled_cold_then_serial_warm(self, cache):
+        specs = specs_for("t-count")
+        with result_cached(cache):
+            cold = run_points(specs, QUICK, jobs=2)
+            warm = run_points(specs, QUICK)  # jobs=None: same store
+        assert warm == cold
+        # The parent never executed a cell: cold values carry worker
+        # pids, and the warm run returned exactly those.
+        assert all(v["pid"] != os.getpid() for v in warm)
+        assert COUNTED == []  # counting happened in the workers
+
+    def test_mixed_sweep_executes_only_cold_cells(self, cache):
+        with result_cached(cache):
+            run_points(specs_for("t-count", count=2), QUICK)
+            assert len(COUNTED) == 2
+            values = run_points(specs_for("t-count", count=4), QUICK)
+        assert len(COUNTED) == 4  # only x=2,3 were cold
+        assert [v["x"] for v in values] == [0, 1, 2, 3]
+        assert COUNTED[2:] == ["T off x=2", "T off x=3"]
+
+    def test_phases_identical_cold_and_warm(self, cache):
+        specs = specs_for("t-count")
+        with result_cached(cache):
+            cold_registry = MetricsRegistry()
+            with observed(cold_registry):
+                run_points(specs, QUICK)
+            warm_registry = MetricsRegistry()
+            with observed(warm_registry):
+                run_points(specs, QUICK)
+        assert cold_registry.report() == warm_registry.report()
+
+    def test_phase_labels_match_serial_run(self, cache):
+        specs = specs_for("t-count")
+        with result_cached(cache):
+            registry = MetricsRegistry()
+            with observed(registry):
+                run_points(specs, QUICK)
+        assert [p.label for p in registry.phases] == [
+            s.label for s in specs
+        ]
+
+
+class TestBypass:
+    def run_twice(self, specs, ctx, cache):
+        with result_cached(cache), ctx:
+            run_points(specs, QUICK)
+            run_points(specs, QUICK)
+
+    def test_payload_specs_bypass(self, cache):
+        specs = specs_for("t-count", payload={"plan": "x"})
+        import contextlib
+
+        self.run_twice(specs, contextlib.nullcontext(), cache)
+        assert len(COUNTED) == 8  # executed both times, no caching
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_monitor_bypasses(self, cache):
+        self.run_twice(
+            specs_for("t-count"), monitored(InvariantMonitor()), cache
+        )
+        assert len(COUNTED) == 8
+        assert cache.stats.hits == 0
+
+    def test_fault_runtime_bypasses(self, cache):
+        plan = FaultPlan(seed=1, name="empty", specs=())
+        self.run_twice(specs_for("t-count"), faulted(plan), cache)
+        assert len(COUNTED) == 8
+        assert cache.stats.hits == 0
+
+    def test_tracer_bypasses(self, cache):
+        registry = MetricsRegistry(tracer=SpanTracer())
+        self.run_twice(specs_for("t-count"), observed(registry), cache)
+        assert len(COUNTED) == 8
+        assert cache.stats.hits == 0
+
+
+class TestErrors:
+    def test_cold_violation_raises_remote_point_error(self, cache):
+        with result_cached(cache):
+            with pytest.raises(RemotePointError, match="boom"):
+                run_points(specs_for("t-violate", count=2), QUICK)
+
+    def test_violation_after_warm_cells_adopts_their_phases(self, cache):
+        good = specs_for("t-count", count=2)
+        with result_cached(cache):
+            # Warm the good cells under the same observation shape the
+            # mixed run will use (collect=True is part of the key).
+            with observed(MetricsRegistry()):
+                run_points(good, QUICK)
+            mixed = good + [
+                PointSpec(
+                    figure="T",
+                    runner="t-violate",
+                    mode="off",
+                    x=9,
+                    label="T off x=9",
+                    seed=9,
+                )
+            ]
+            registry = MetricsRegistry()
+            with observed(registry), pytest.raises(RemotePointError):
+                run_points(mixed, QUICK)
+        # The two warm cells' phases landed before the error, exactly
+        # like a serial sweep that died on its third point.
+        assert [p.label for p in registry.phases] == [
+            "T off x=0", "T off x=1"
+        ]
+        assert len(COUNTED) == 2  # the violating cell never re-ran them

@@ -1,0 +1,330 @@
+"""``repro serve``: request canonicalization, queue dedup, HTTP API."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import FigureResult, RunScale
+from repro.experiments.points import POINT_RUNNERS
+from repro.obs.expect import FigureSpec, grows_with
+from repro.obs.expect.reproduce import run_reproduce
+from repro.parallel import PointSpec, run_points
+from repro.serve import JobQueue, ReproduceRequest, ReproServer
+
+MICRO = RunScale(
+    name="micro",
+    warmup_ns=1_000_000.0,
+    measure_ns=2_000_000.0,
+    latency_measure_ns=4_000_000.0,
+)
+
+EXECUTIONS: list[str] = []
+
+
+def _counting_point(spec, scale):
+    EXECUTIONS.append(spec.label)
+    return {"mode": spec.mode, "x": spec.x, "gbps": 10.0 * spec.x}
+
+
+def _stub_figure(scale, seed=1):
+    specs = [
+        PointSpec(
+            figure="stub",
+            runner="t-serve",
+            mode="off",
+            x=x,
+            label=f"stub off x={x} seed={seed}",
+            seed=seed * 100 + x,
+        )
+        for x in (1, 2)
+    ]
+    values = run_points(specs, scale)
+    result = FigureResult("Fig S", "stub", ["mode", "x", "gbps"])
+    result.rows = [[v["mode"], v["x"], v["gbps"]] for v in values]
+    return result
+
+
+STUB_SPEC = FigureSpec(
+    figure="stub",
+    title="stub figure",
+    expectations=(
+        grows_with("gbps", "off", claim="gbps grows", paper="grows"),
+    ),
+)
+
+
+@pytest.fixture(autouse=True)
+def scratch_runner():
+    EXECUTIONS.clear()
+    POINT_RUNNERS["t-serve"] = _counting_point
+    yield
+    POINT_RUNNERS.pop("t-serve", None)
+
+
+class TestReproduceRequest:
+    def test_config_key_ignores_parallelism(self):
+        base = ReproduceRequest(figures=("fig2",), seed=1)
+        jobs = ReproduceRequest(figures=("fig2",), seed=1, jobs=8, chunk=2)
+        assert base.config_key() == jobs.config_key()
+
+    def test_config_key_covers_output_fields(self):
+        base = ReproduceRequest(figures=("fig2",), seed=1)
+        assert ReproduceRequest(
+            figures=("fig3",), seed=1
+        ).config_key() != base.config_key()
+        assert ReproduceRequest(
+            figures=("fig2",), seed=2
+        ).config_key() != base.config_key()
+        assert ReproduceRequest(
+            figures=("fig2",), seed=1, full=True
+        ).config_key() != base.config_key()
+
+    def test_from_json_validates(self):
+        good = ReproduceRequest.from_json(
+            {"figures": ["fig2"], "seed": 3, "jobs": 2}
+        )
+        assert good.figures == ("fig2",)
+        assert good.seed == 3
+        for bad in (
+            "not a dict",
+            {"figures": "fig2"},
+            {"figures": [1]},
+            {"seed": "x"},
+            {"seed": True},
+            {"jobs": -1},
+            {"chunk": 0},
+        ):
+            with pytest.raises(ValueError):
+                ReproduceRequest.from_json(bad)
+
+
+class TestJobQueueDedup:
+    def make_queue(self, tmp_path, gate, runs):
+        def executor(request, outdir):
+            gate.wait(10.0)
+            runs.append(request.config_key())
+            return 0
+
+        return JobQueue(Path(tmp_path), executor)
+
+    def test_identical_inflight_requests_attach(self, tmp_path):
+        gate = threading.Event()
+        runs: list[str] = []
+        queue = self.make_queue(tmp_path, gate, runs)
+        try:
+            first, attached1 = queue.submit(ReproduceRequest(seed=1))
+            second, attached2 = queue.submit(ReproduceRequest(seed=1))
+            assert not attached1
+            assert attached2
+            assert second is first
+            assert first.attachments == 1
+            gate.set()
+            assert first.wait(10.0)
+            assert runs == [first.key]  # one underlying run
+        finally:
+            gate.set()
+            queue.shutdown()
+
+    def test_distinct_configs_run_independently(self, tmp_path):
+        gate = threading.Event()
+        gate.set()
+        runs: list[str] = []
+        queue = self.make_queue(tmp_path, gate, runs)
+        try:
+            a, _ = queue.submit(ReproduceRequest(seed=1))
+            b, attached = queue.submit(ReproduceRequest(seed=2))
+            assert not attached
+            assert b is not a
+            assert a.wait(10.0) and b.wait(10.0)
+            assert sorted(runs) == sorted([a.key, b.key])
+        finally:
+            queue.shutdown()
+
+    def test_retired_config_starts_a_fresh_job(self, tmp_path):
+        gate = threading.Event()
+        gate.set()
+        runs: list[str] = []
+        queue = self.make_queue(tmp_path, gate, runs)
+        try:
+            first, _ = queue.submit(ReproduceRequest(seed=1))
+            assert first.wait(10.0)
+            again, attached = queue.submit(ReproduceRequest(seed=1))
+            assert not attached
+            assert again is not first
+        finally:
+            queue.shutdown()
+
+    def test_failing_executor_marks_job_failed(self, tmp_path):
+        def executor(request, outdir):
+            raise RuntimeError("exploded")
+
+        queue = JobQueue(Path(tmp_path), executor)
+        try:
+            job, _ = queue.submit(ReproduceRequest(seed=1))
+            assert job.wait(10.0)
+            assert job.status == "failed"
+            assert "exploded" in job.error
+            # The key is free again for a retry.
+            retry, attached = queue.submit(ReproduceRequest(seed=1))
+            assert not attached
+        finally:
+            queue.shutdown()
+
+
+@pytest.fixture()
+def server(tmp_path, monkeypatch):
+    """A ReproServer on a free port running the stub figure."""
+    gate = threading.Event()
+
+    def executor(request, outdir):
+        gate.wait(10.0)
+        return run_reproduce(
+            ["stub"],
+            scale=MICRO,
+            seed=request.seed,
+            report_path=str(outdir / "REPORT.md"),
+            json_path=str(outdir / "report.json"),
+            runners={
+                "stub": lambda scale: _stub_figure(scale, seed=request.seed)
+            },
+            specs={"stub": STUB_SPEC},
+            echo=lambda _: None,
+            cache=srv.cache,
+        )
+
+    srv = ReproServer(
+        port=0,
+        cache_dir=str(tmp_path / "cache"),
+        workdir=str(tmp_path / "jobs"),
+        executor=executor,
+    )
+    monkeypatch.setattr(
+        type(srv.cache), "fingerprint_for", lambda self, key: "pinned"
+    )
+    srv.start()
+    srv.gate = gate
+    yield srv
+    gate.set()
+    srv.stop()
+
+
+def api(server, path, payload=None):
+    host, port = server.address
+    url = f"http://{host}:{port}{path}"
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=data)
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestHTTP:
+    def test_healthz(self, server):
+        status, doc = api(server, "/healthz")
+        assert status == 200
+        assert doc == {"status": "ok"}
+
+    def test_unknown_route_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            api(server, "/api/nope")
+        assert err.value.code == 404
+
+    def test_unknown_job_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            api(server, "/api/jobs/job-999999")
+        assert err.value.code == 404
+
+    def test_bad_request_body_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            api(server, "/api/reproduce", payload={"figures": "fig2"})
+        assert err.value.code == 400
+
+    def test_concurrent_identical_requests_cost_one_run(self, server):
+        payload = {"figures": ["stub"], "seed": 1}
+        status, first = api(server, "/api/reproduce", payload=payload)
+        assert status == 202
+        assert first["attached"] is False
+        # The executor is gated, so the job is still live: the second
+        # identical request must attach, not enqueue.
+        status, second = api(server, "/api/reproduce", payload=payload)
+        assert second["id"] == first["id"]
+        assert second["attached"] is True
+
+        # Until the run retires, the report endpoint says 202-pending.
+        host, port = server.address
+        url = f"http://{host}:{port}/api/jobs/{first['id']}/report.json"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            assert response.status == 202
+
+        server.gate.set()
+        job = server.queue.get(first["id"])
+        assert job.wait(10.0)
+        assert job.exit_code == 0
+        assert len(EXECUTIONS) == 2  # the stub figure's two cells, once
+
+        with urllib.request.urlopen(url, timeout=10) as response:
+            assert response.status == 200
+            report = json.loads(response.read())
+        # One underlying run: everything was computed exactly once.
+        assert report["provenance"]["cache"]["cells_computed"] == 2
+        assert report["provenance"]["cache"]["cells_cached"] == 0
+        assert job.attachments == 1
+
+    def test_distinct_configs_run_and_serve_independently(self, server):
+        server.gate.set()
+        _, job1 = api(
+            server, "/api/reproduce",
+            payload={"figures": ["stub"], "seed": 1},
+        )
+        _, job2 = api(
+            server, "/api/reproduce",
+            payload={"figures": ["stub"], "seed": 2},
+        )
+        assert job1["id"] != job2["id"]
+        assert job2["attached"] is False
+        for job_id in (job1["id"], job2["id"]):
+            assert server.queue.get(job_id).wait(10.0)
+        host, port = server.address
+        reports = []
+        for job_id in (job1["id"], job2["id"]):
+            url = f"http://{host}:{port}/api/jobs/{job_id}/report.json"
+            with urllib.request.urlopen(url, timeout=10) as response:
+                reports.append(json.loads(response.read()))
+        # Different seeds produced different cells; both ran cold.
+        assert len(EXECUTIONS) == 4
+        rows1 = reports[0]["figures"][0]["rows"]
+        rows2 = reports[1]["figures"][0]["rows"]
+        assert rows1 == rows2  # same x grid, value depends only on x
+
+    def test_repeated_retired_config_is_served_from_cache(self, server):
+        server.gate.set()
+        payload = {"figures": ["stub"], "seed": 1}
+        _, first = api(server, "/api/reproduce", payload=payload)
+        assert server.queue.get(first["id"]).wait(10.0)
+        assert len(EXECUTIONS) == 2
+        _, again = api(server, "/api/reproduce", payload=payload)
+        assert again["attached"] is False  # fresh job...
+        job = server.queue.get(again["id"])
+        assert job.wait(10.0)
+        assert len(EXECUTIONS) == 2  # ...but zero new cell executions
+        report = json.loads(job.report_json.read_text())
+        assert report["provenance"]["cache"]["cells_cached"] == 2
+        assert report["provenance"]["cache"]["cells_computed"] == 0
+
+    def test_jobs_listing_and_cache_stats(self, server):
+        server.gate.set()
+        _, job = api(
+            server, "/api/reproduce",
+            payload={"figures": ["stub"], "seed": 1},
+        )
+        assert server.queue.get(job["id"]).wait(10.0)
+        status, listing = api(server, "/api/jobs")
+        assert status == 200
+        assert [j["id"] for j in listing["jobs"]] == [job["id"]]
+        status, stats = api(server, "/api/cache/stats")
+        assert status == 200
+        assert stats["disk"]["entries"] == 2
+        assert stats["run"]["misses"] == 2
